@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table/figure/claim) on the
+simulated platforms.  The *virtual* latencies are deterministic; what
+pytest-benchmark times is the wall-clock cost of regenerating the artifact.
+The reproduced quantities are attached to each benchmark's ``extra_info``
+so ``--benchmark-only`` output doubles as the reproduction record.
+
+The protocol here is reduced (1 run x 5 iterations — virtual results are
+identical to the full 10x100 protocol modulo the seeded jitter term, which
+is disabled).  EXPERIMENTS.md records the full-protocol numbers.
+"""
+
+import pytest
+
+from repro.experiments import Protocol
+
+BENCH_PROTOCOL = Protocol(runs=1, iterations=5, jitter_sigma=0.0)
+
+
+@pytest.fixture
+def protocol():
+    return BENCH_PROTOCOL

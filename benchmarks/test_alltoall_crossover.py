@@ -1,0 +1,59 @@
+"""Bench: all-to-all algorithm crossover vs message size.
+
+§3.1's premise — each vendor tuned its own ``MPI_All_to_All`` — only makes
+sense because no single algorithm wins everywhere.  This bench sweeps the
+per-block payload on the CSPI fabric and locates the crossover: Bruck
+(fewer, bundled messages) wins when per-message overhead dominates tiny
+payloads; pairwise exchange (minimal volume) wins once bandwidth dominates.
+"""
+
+import numpy as np
+
+from repro.machine import Environment, SimCluster, cspi
+from repro.mpi import MpiWorld
+
+NODES = 8
+SIZES = [1, 16, 256, 4 << 10, 64 << 10]  # payload elements (float32) per block
+
+
+def alltoall_time(algorithm, elems):
+    env = Environment()
+    world = MpiWorld(SimCluster.from_platform(env, cspi(), NODES))
+
+    def prog(comm):
+        blocks = [np.zeros(elems, dtype=np.float32) for _ in range(comm.size)]
+        yield from comm.alltoall(blocks, algorithm=algorithm)
+
+    world.spawn(prog)
+    world.run()
+    return env.now
+
+
+def test_bruck_pairwise_crossover(benchmark):
+    def sweep():
+        return {
+            elems: {
+                algo: alltoall_time(algo, elems)
+                for algo in ("pairwise", "recursive_doubling", "direct", "ring")
+            }
+            for elems in SIZES
+        }
+
+    table = benchmark(sweep)
+    benchmark.extra_info["alltoall_seconds"] = {
+        str(elems): {a: round(t * 1e6, 1) for a, t in per.items()}
+        for elems, per in table.items()
+    }
+    # Tiny payloads: Bruck's log(p) rounds beat pairwise's p-1 rounds.
+    assert table[1]["recursive_doubling"] < table[1]["pairwise"]
+    # Large payloads: pairwise's minimal volume wins.
+    assert table[64 << 10]["pairwise"] < table[64 << 10]["recursive_doubling"]
+    # There is a crossover somewhere inside the sweep.
+    winners = [
+        min(per, key=per.get) in ("recursive_doubling",) for elems, per in table.items()
+    ]
+    assert winners[0] and not winners[-1]
+    # Cost is monotone in payload for every algorithm.
+    for algo in ("pairwise", "direct", "ring", "recursive_doubling"):
+        times = [table[e][algo] for e in SIZES]
+        assert all(a <= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,28 @@
+"""Bench A1: AToT GA mapping quality (§1.1 claims).
+
+GA mapping vs round-robin vs random placement of a synthetic radar chain,
+scored by the analytic objective and by simulated execution.
+"""
+
+
+from repro.experiments import run_atot_study
+
+
+def test_atot_mapping_quality(benchmark):
+    rows = benchmark(run_atot_study, 4, 128, 15)
+    by = {r.strategy: r for r in rows}
+    benchmark.extra_info["fitness"] = {s: round(r.fitness, 4) for s, r in by.items()}
+    benchmark.extra_info["sim_latency_ms"] = {
+        s: round(r.simulated_latency_ms, 3) for s, r in by.items()
+    }
+    benchmark.extra_info["load_imbalance"] = {
+        s: round(r.load_imbalance, 2) for s, r in by.items()
+    }
+    # GA never loses to its own seed or to random placement.
+    assert by["atot_ga"].fitness <= by["round_robin"].fitness + 1e-9
+    assert by["atot_ga"].fitness <= by["random"].fitness + 1e-9
+    # The analytic objective predicts the simulator: random placement is
+    # slower in actual (simulated) execution too.
+    assert by["random"].simulated_latency_ms > by["atot_ga"].simulated_latency_ms
+    # Load balancing claim: GA keeps imbalance near 1.
+    assert by["atot_ga"].load_imbalance < by["random"].load_imbalance + 1e-9

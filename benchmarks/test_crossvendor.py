@@ -1,0 +1,34 @@
+"""Bench F1: the MITRE cross-vendor comparison (§3.1, reference [2]).
+
+Hand-coded 2D FFT and corner-turn latency vs node count on the four named
+platforms (Mercury, CSPI, SKY, SIGI), each with its vendor-tuned all-to-all.
+Expected shape: every curve falls with node count; the communication-bound
+corner turn separates the fabrics (SIGI slowest) while the compute-bound
+FFT barely does.
+"""
+
+
+from repro.experiments import run_crossvendor
+
+
+def test_crossvendor_comparison(benchmark, protocol):
+    result = benchmark(run_crossvendor, protocol, 1024, ("mercury", "cspi", "sky", "sigi"), (2, 4, 8))
+    table = result.latency_ms
+    benchmark.extra_info["latency_ms"] = {
+        app: {v: {n: round(ms, 2) for n, ms in per.items()} for v, per in series.items()}
+        for app, series in table.items()
+    }
+    # Scaling: latency falls with node count for every vendor and app.
+    for app, series in table.items():
+        for vendor, per_nodes in series.items():
+            assert per_nodes[2] > per_nodes[4] > per_nodes[8], f"{app}/{vendor}"
+    # Fabric ordering on the corner turn: SIGI (slow shared bus) is worst.
+    ct = table["corner_turn"]
+    for n in (4, 8):
+        assert ct["sigi"][n] == max(ct[v][n] for v in ct)
+    # The FFT's vendor spread is narrower than the corner turn's.
+    def spread(app, n):
+        vals = [table[app][v][n] for v in table[app]]
+        return max(vals) / min(vals)
+
+    assert spread("fft2d", 8) < spread("corner_turn", 8)

@@ -1,0 +1,58 @@
+"""Bench: mapping-search ablation — GA (the paper's choice, §1.1) vs
+simulated annealing vs baselines on the same objective.
+
+DESIGN.md calls the GA out as a design choice; this bench quantifies it.
+"""
+
+
+from repro.core.atot import (
+    AnnealConfig,
+    GaConfig,
+    MappingProblem,
+    genetic_algorithm,
+    random_mapping,
+    simulated_annealing,
+)
+from repro.core.model import round_robin_mapping
+from repro.experiments.atot_study import radar_chain_model
+from repro.machine import cspi
+
+
+def test_ga_vs_annealing(benchmark):
+    def study():
+        app = radar_chain_model(n=128, threads=4)
+        problem = MappingProblem(app, cspi(), 4)
+        seed = problem.encode(round_robin_mapping(app, 4))
+        rnd = problem.encode(random_mapping(app, 4, seed=11))
+        ga = genetic_algorithm(
+            len(problem.slots), 4, problem.fitness,
+            GaConfig(population=30, generations=20, seed=1), seeds=[rnd],
+        )
+        sa = simulated_annealing(
+            len(problem.slots), 4, problem.fitness,
+            AnnealConfig(steps=1500, seed=1), start=rnd,
+        )
+        return {
+            "random": problem.fitness(rnd),
+            "round_robin": problem.fitness(seed),
+            "ga": ga.best_fitness,
+            "ga_evals": ga.evaluations,
+            "sa": sa.best_fitness,
+            "sa_evals": sa.proposed + 1,
+        }
+
+    scores = benchmark(study)
+    benchmark.extra_info["fitness"] = {
+        k: round(v, 4) for k, v in scores.items() if not k.endswith("_evals")
+    }
+    benchmark.extra_info["evaluations"] = {
+        "ga": scores["ga_evals"], "sa": scores["sa_evals"]
+    }
+    # Both searchers improve a random start dramatically; the best of the
+    # two lands at (or very near) the round-robin optimum.  At this budget
+    # the annealer's local moves typically edge out the GA on this regular
+    # chain — the GA's production advantage is its seeded population (see
+    # optimize_mapping, which never starts from random).
+    assert scores["ga"] < scores["random"] * 0.5
+    assert scores["sa"] < scores["random"] * 0.5
+    assert min(scores["ga"], scores["sa"]) <= scores["round_robin"] * 1.1

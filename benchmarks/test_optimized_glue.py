@@ -1,0 +1,26 @@
+"""Bench C2: the §4 optimised glue generator.
+
+Paper: "Work is currently underway to improve the performance of the glue
+code generation component that will reach levels of 90% of hand coded
+performance."  The optimised generator lets the data source DMA directly
+into its downstream logical buffer instead of depositing through a unique
+source buffer.
+"""
+
+import statistics
+
+from repro.experiments import optimized_glue_study
+
+
+def test_optimized_glue_reaches_90_percent(benchmark, protocol):
+    rows = benchmark(optimized_glue_study, protocol, (4, 8), (512, 1024))
+    avg_default = statistics.fmean(r["default_pct"] for r in rows)
+    avg_opt = statistics.fmean(r["optimized_pct"] for r in rows)
+    benchmark.extra_info["default_avg_pct"] = round(avg_default, 1)
+    benchmark.extra_info["optimized_avg_pct"] = round(avg_opt, 1)
+    benchmark.extra_info["paper_target_pct"] = 90.0
+    assert avg_opt > avg_default
+    # "levels of 90%" — accept 85-100.
+    assert 85.0 < avg_opt <= 100.0
+    # Optimised glue still never beats hand code on any cell.
+    assert all(r["optimized_pct"] <= 100.0 for r in rows)

@@ -1,0 +1,25 @@
+"""Bench A2: the §3.3 period/latency definitions.
+
+"a period is defined to be the time between input data sets while latency
+is the time required to process a single data set" — pipelined execution
+pushes period below latency; a throttled source sets the period directly.
+"""
+
+
+from repro.experiments import run_period_latency
+
+
+def test_period_vs_latency(benchmark):
+    points = benchmark(run_period_latency, 4, 512, 12)
+    by = {p.mode: p for p in points}
+    benchmark.extra_info["latency_ms"] = {m: round(p.latency_ms, 3) for m, p in by.items()}
+    benchmark.extra_info["period_ms"] = {m: round(p.period_ms, 3) for m, p in by.items()}
+    # Pipelined: period < latency (the pipeline hides stage time).
+    assert by["pipelined-depth2"].period_ms < by["pipelined-depth2"].latency_ms
+    assert by["pipelined-unbounded"].period_ms < by["pipelined-unbounded"].latency_ms
+    # Serial admission: period ~ latency.
+    assert by["serial"].period_ms >= by["serial"].latency_ms * 0.99
+    # Throttled: period tracks the source interval (2x the serial latency).
+    assert abs(by["throttled-source"].period_ms - 2 * by["serial"].latency_ms) < (
+        0.05 * by["serial"].latency_ms * 2
+    )

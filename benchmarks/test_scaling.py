@@ -1,0 +1,41 @@
+"""Bench: node-count scaling (§3.1: MITRE measured "several node
+configurations" per platform).
+
+Expected shape: the compute-bound 2D FFT speeds up near-linearly with node
+count; the communication-bound corner turn scales sub-linearly; SAGE and
+hand-coded scale alike (the run-time overhead is roughly a constant
+fraction, Table 1.0's premise).
+"""
+
+
+from repro.experiments import measure_hand, measure_sage
+from repro.machine import cspi
+
+
+def test_scaling_with_node_count(benchmark, protocol):
+    def sweep():
+        platform = cspi()
+        out = {}
+        for app in ("fft2d", "corner_turn"):
+            out[app] = {}
+            for variant, fn in (("hand", measure_hand), ("sage", measure_sage)):
+                lat = {n: fn(app, platform, n, 1024, protocol).latency for n in (1, 2, 4, 8)}
+                out[app][variant] = {n: lat[1] / lat[n] for n in lat}  # speedups
+        return out
+
+    speedups = benchmark(sweep)
+    benchmark.extra_info["speedup_vs_1node"] = {
+        app: {v: {n: round(s, 2) for n, s in per.items()} for v, per in d.items()}
+        for app, d in speedups.items()
+    }
+    fft_hand = speedups["fft2d"]["hand"]
+    ct_hand = speedups["corner_turn"]["hand"]
+    # FFT: near-linear (>= 75% parallel efficiency at 8 nodes).
+    assert fft_hand[8] > 6.0
+    # Corner turn: all-to-all limited, clearly sub-linear vs the FFT.
+    assert ct_hand[8] < fft_hand[8]
+    # SAGE scales like hand code (within 20% relative at every point).
+    for app in speedups:
+        for n in (2, 4, 8):
+            h, s = speedups[app]["hand"][n], speedups[app]["sage"][n]
+            assert abs(h - s) / h < 0.2, (app, n, h, s)

@@ -1,0 +1,27 @@
+"""Bench S34a: the §3.4 two-node buffer-management penalty.
+
+Paper: "A performance hit was taken on a two-node configuration. Here, the
+SAGE run-time buffer management scheme assigns unique logical buffers to
+the data per function which can cause extra data access times compared to
+the CSPI implementation."  The unique-buffer copy scales with the per-node
+buffer size (n^2/p), so its absolute cost is largest at 2 nodes.
+"""
+
+
+from repro.experiments import two_node_study
+
+
+def test_two_node_penalty(benchmark, protocol):
+    rows = benchmark(two_node_study, protocol, 1024)
+    by_nodes = {r["nodes"]: r for r in rows}
+    benchmark.extra_info["extra_ms_per_iteration"] = {
+        n: round(by_nodes[n]["extra_ms"], 3) for n in (2, 4, 8)
+    }
+    benchmark.extra_info["pct_of_hand"] = {
+        n: round(by_nodes[n]["pct_of_hand"], 1) for n in (2, 4, 8)
+    }
+    # The absolute unique-buffer overhead shrinks as nodes increase.
+    assert by_nodes[2]["extra_ms"] > by_nodes[4]["extra_ms"] > by_nodes[8]["extra_ms"]
+    # SAGE never beats hand code (§3: "tools which can auto generate code
+    # that can surpass hand coded ... is still work to be done").
+    assert all(r["pct_of_hand"] < 100 for r in rows)

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""AToT architecture trade study: which machine should run this application?
+
+Captures performance requirements (a latency budget, a cost ceiling), sweeps
+the (vendor platform x node count) trade space for the 2D FFT application,
+and prints the evaluated candidates with the Pareto front and AToT's
+recommendation — the §1.1 "architecture trades process [that] determine[s] a
+target hardware architecture".
+
+Run: ``python examples/architecture_trades.py``
+"""
+
+from repro.apps import fft2d_model
+from repro.core.atot import GaConfig, Requirements, architecture_trade_study, format_trade_study
+
+N = 512
+
+
+def main():
+    requirements = Requirements(
+        max_latency=0.120,   # process a 512x512 data set in 120 ms
+        max_cost=150.0,      # k$
+        max_power=400.0,     # watts
+    )
+    print(f"requirements: latency <= {requirements.max_latency * 1e3:.0f} ms, "
+          f"cost <= {requirements.max_cost:.0f} k$, "
+          f"power <= {requirements.max_power:.0f} W\n")
+
+    result = architecture_trade_study(
+        fft2d_model(N, 4),
+        requirements,
+        node_counts=(2, 4, 8, 16),
+        ga_config=GaConfig(population=24, generations=10, seed=1),
+        app_builder=lambda nodes: fft2d_model(N, nodes),
+    )
+    print(format_trade_study(result))
+
+    print(f"\n{len(result.feasible)}/{len(result.candidates)} candidates meet "
+          f"the requirements; {len(result.pareto)} are Pareto-optimal "
+          "(latency/cost/power).")
+    infeasible = [c for c in result.candidates if not c.meets_requirements]
+    if infeasible:
+        c = infeasible[0]
+        print(f"example rejection: {c.platform} x {c.nodes}: {'; '.join(c.violations)}")
+
+
+if __name__ == "__main__":
+    main()

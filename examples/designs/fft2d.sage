@@ -1,0 +1,26 @@
+# Parallel 2D FFT, captured in the textual Designer format.
+# Try:  python -m repro run examples/designs/fft2d.sage --nodes 4
+#       python -m repro generate examples/designs/fft2d.sage --nodes 4
+
+application fft2d_design
+
+datatype cm complex64 256x256
+
+block src kernel=matrix_source threads=4
+  out out cm striped(0)
+
+block rowfft kernel=fft_rows threads=4
+  in in cm striped(0)
+  out out cm striped(0)
+
+# the striping change on this arc IS the distributed corner turn
+block colfft kernel=fft_cols threads=4
+  in in cm striped(1)
+  out out cm striped(1)
+
+block sink kernel=matrix_sink threads=4
+  in in cm striped(1)
+
+connect src.out -> rowfft.in
+connect rowfft.out -> colfft.in
+connect colfft.out -> sink.in

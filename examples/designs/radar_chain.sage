@@ -1,0 +1,30 @@
+# Pulse-Doppler radar front-end in the textual Designer format.
+# Try:  python -m repro run examples/designs/radar_chain.sage --nodes 4
+
+application radar_chain_design
+
+datatype cpi complex64 128x128
+datatype det float32 128x128
+
+block adc kernel=matrix_source threads=4
+  out out cpi striped(0)
+
+block pulse_comp kernel=pulse_compress threads=4 param.bandwidth_frac=0.5
+  in in cpi striped(0)
+  out out cpi striped(0)
+
+block doppler kernel=doppler threads=4 param.window=hanning
+  in in cpi striped(1)
+  out out cpi striped(1)
+
+block cfar kernel=cfar threads=4 param.guard=2 param.train=8 param.scale=12.0
+  in in cpi striped(0)
+  out out det striped(0)
+
+block sink kernel=matrix_sink threads=4
+  in in det striped(0)
+
+connect adc.out -> pulse_comp.in
+connect pulse_comp.out -> doppler.in
+connect doppler.out -> cfar.in
+connect cfar.out -> sink.in

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Hand-coded vs SAGE auto-generated parallel 2D FFT (a Table 1.0 panel).
+
+Runs the §3.3 protocol (reduced) for the 2D FFT on the simulated CSPI
+machine at several node counts and matrix sizes, printing latency and the
+SAGE-as-%-of-hand figure the paper reports.
+
+Run: ``python examples/fft2d_benchmark.py``
+"""
+
+from repro.experiments import Protocol, measure_hand, measure_sage
+from repro.machine import cspi
+
+
+def main():
+    protocol = Protocol(runs=3, iterations=20)
+    platform = cspi()
+    print("Parallel 2D FFT on simulated CSPI (PowerPC 603e / Myrinet)")
+    print(f"{'nodes':>6s}{'size':>6s}{'hand (ms)':>12s}{'SAGE (ms)':>12s}"
+          f"{'% of hand':>11s}{'stdev (ms)':>12s}")
+    for nodes in (2, 4, 8):
+        for n in (256, 512, 1024):
+            hand = measure_hand("fft2d", platform, nodes, n, protocol)
+            sage = measure_sage("fft2d", platform, nodes, n, protocol)
+            pct = 100.0 * hand.latency / sage.latency
+            print(f"{nodes:>6d}{n:>6d}{hand.latency_ms:>12.3f}"
+                  f"{sage.latency_ms:>12.3f}{pct:>10.1f}%"
+                  f"{sage.latency_stdev * 1e3:>12.4f}")
+    print("\npaper: SAGE ran the 2D FFT at ~80-87% of hand-coded (17-20% overhead)")
+
+
+if __name__ == "__main__":
+    main()

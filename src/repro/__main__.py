@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info         version + subsystem overview
+platforms    the vendor platform presets and their key figures
+kernels      the software-shelf contents (ISSPL + structural + radar)
+generate     load a design document, run the Alter glue generator, save glue
+run          load a design document and execute it on a simulated platform
+table1 / crossvendor / ablations / atot-study / period-latency
+             the paper-artifact experiments (see repro.experiments)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — SAGE reproduction (IPPS 2000)")
+    print(__doc__.split("Commands")[0].strip())
+    print()
+    for line in repro.__doc__.splitlines():
+        if line.startswith("``"):
+            print(" ", line.strip("`"))
+    return 0
+
+
+def cmd_platforms(_args) -> int:
+    from .machine import PLATFORMS, get_platform
+
+    print(f"{'name':<10s}{'CPU':<16s}{'MHz':>6s}{'MFLOPS':>8s}"
+          f"{'fabric':<14s}{'BW MB/s':>9s}{'lat us':>8s}{'a2a algo':>20s}")
+    for name in sorted(PLATFORMS):
+        p = get_platform(name)
+        print(
+            f"{p.name:<10s}{p.cpu.name:<16s}{p.cpu.clock_mhz:>6.0f}"
+            f"{p.cpu.mflops:>8.0f}  {p.fabric.name:<12s}"
+            f"{p.fabric.inter_board.bandwidth / 1e6:>9.0f}"
+            f"{p.fabric.inter_board.latency * 1e6:>8.1f}"
+            f"{p.alltoall_algorithm:>20s}"
+        )
+    return 0
+
+
+def cmd_kernels(_args) -> int:
+    from .core.model import software_shelf
+
+    shelf = software_shelf()
+    for item in shelf.items():
+        print(f"{item:<20s}[{shelf.category_of(item)}]")
+    return 0
+
+
+def _load_any_design(path: str):
+    """Load a design: JSON documents or the textual .sage format."""
+    if path.endswith((".sage", ".txt")):
+        from .core.model import parse_application
+
+        with open(path) as fh:
+            return parse_application(fh.read()), None, None
+    from .core.model import load_design
+
+    return load_design(path)
+
+
+def cmd_generate(args) -> int:
+    from .core.codegen import generate_glue
+    from .core.model import round_robin_mapping
+
+    app, hardware, mapping = _load_any_design(args.design)
+    nodes = args.nodes or (hardware.processor_count if hardware else None)
+    if nodes is None:
+        print("error: design has no hardware model; pass --nodes", file=sys.stderr)
+        return 2
+    if mapping is None:
+        mapping = round_robin_mapping(app, nodes)
+    if args.c:
+        from .core.codegen import generate_c_glue
+
+        source = generate_c_glue(app, mapping, num_processors=nodes)
+    else:
+        glue = generate_glue(app, mapping, num_processors=nodes,
+                             optimize_buffers=args.optimized)
+        source = glue.source
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .core.codegen import generate_glue
+    from .core.model import round_robin_mapping
+    from .core.runtime import DEFAULT_CONFIG, SageRuntime
+    from .core.visualizer import run_report
+    from .machine import Environment, SimCluster, get_platform
+
+    app, hardware, mapping = _load_any_design(args.design)
+    env = Environment()
+    if hardware is not None and not args.platform:
+        cluster = hardware.build_cluster(env)
+    else:
+        platform = get_platform(args.platform or "cspi")
+        nodes = args.nodes or (hardware.processor_count if hardware else 4)
+        cluster = SimCluster.from_platform(env, platform, nodes)
+    nodes = len(cluster)
+    if mapping is None:
+        mapping = round_robin_mapping(app, nodes)
+    glue = generate_glue(app, mapping, num_processors=nodes,
+                         optimize_buffers=args.optimized)
+    runtime = SageRuntime(glue, cluster, config=DEFAULT_CONFIG.timing_only())
+    result = runtime.run(iterations=args.iterations)
+    print(run_report(result, processors=nodes))
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": "table1",
+    "crossvendor": "crossvendor",
+    "ablations": "ablations",
+    "atot-study": "atot_study",
+    "period-latency": "period_latency",
+    "code-size": "code_size",
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Experiment subcommands forward their whole tail to the experiment's own
+    # argparse (argparse.REMAINDER would swallow leading options otherwise).
+    if argv and argv[0] in _EXPERIMENTS:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{_EXPERIMENTS[argv[0]]}")
+        return module.main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version + subsystem overview").set_defaults(fn=cmd_info)
+    sub.add_parser("platforms", help="vendor platform presets").set_defaults(fn=cmd_platforms)
+    sub.add_parser("kernels", help="software shelf contents").set_defaults(fn=cmd_kernels)
+
+    gen = sub.add_parser("generate", help="generate glue source from a design document")
+    gen.add_argument("design", help="path to a design .json (see save_design)")
+    gen.add_argument("-o", "--output", help="write glue source here (default stdout)")
+    gen.add_argument("--nodes", type=int, help="processor count override")
+    gen.add_argument("--optimized", action="store_true", help="§4 optimised glue")
+    gen.add_argument("--c", action="store_true",
+                     help="emit the C glue (the VxWorks-era export format)")
+    gen.set_defaults(fn=cmd_generate)
+
+    run = sub.add_parser("run", help="execute a design on a simulated platform")
+    run.add_argument("design")
+    run.add_argument("--platform", choices=["cspi", "mercury", "sky", "sigi"])
+    run.add_argument("--nodes", type=int)
+    run.add_argument("--iterations", type=int, default=10)
+    run.add_argument("--optimized", action="store_true")
+    run.set_defaults(fn=cmd_run)
+
+    for name, module in _EXPERIMENTS.items():
+        sub.add_parser(name, help=f"experiment: repro.experiments.{module}")
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro kernels | head`
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Benchmark applications: SAGE models and hand-coded baselines."""
+
+from .workloads import MatrixProvider, matrix_workload
+from .models import benchmark_mapping, corner_turn_model, fft2d_model
+from .fft2d_hand import RankTimings, fft2d_rank
+from .cornerturn_hand import corner_turn_rank
+
+__all__ = [
+    "MatrixProvider",
+    "matrix_workload",
+    "benchmark_mapping",
+    "corner_turn_model",
+    "fft2d_model",
+    "RankTimings",
+    "fft2d_rank",
+    "corner_turn_rank",
+]

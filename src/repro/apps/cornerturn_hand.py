@@ -1,0 +1,71 @@
+"""Hand-coded distributed corner turn (the Table 1.0 baseline).
+
+Row-block layout in, row-block layout of the transpose out: pack
+pre-transposed tiles, exchange through the vendor's tuned all-to-all
+(§3.1: each vendor shipped an ``MPI_All_to_All`` "tailored to their
+respective hardware"), and stitch the received tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.runtime.phantom import PhantomArray
+from ..kernels.cornerturn import assemble_received_tiles, extract_send_tiles, row_block_bounds
+from ..mpi.comm import Communicator
+from .fft2d_hand import RankTimings
+from .workloads import MatrixProvider
+
+__all__ = ["corner_turn_rank"]
+
+
+def corner_turn_rank(
+    comm: Communicator,
+    n: int,
+    iterations: int = 1,
+    provider: Optional[MatrixProvider] = None,
+    alltoall_algorithm: str = "pairwise",
+    execute_data: bool = True,
+    keep_result: bool = False,
+):
+    """Rank program: returns a :class:`RankTimings`."""
+    size, rank = comm.size, comm.rank
+    if n % size:
+        raise ValueError(f"matrix size {n} not divisible by {size} ranks")
+    if execute_data and provider is None:
+        raise ValueError("execute_data=True requires a workload provider")
+    timings = RankTimings(rank=rank)
+    bounds = row_block_bounds(n, size)
+    my_rows = bounds[rank][1] - bounds[rank][0]
+    elem_bytes = 8  # complex64
+
+    for k in range(iterations):
+        if execute_data:
+            local = provider.block(k, rank, size)
+        else:
+            local = PhantomArray((my_rows, n), "complex64")
+        timings.starts.append(comm.now)
+
+        # Pack: pre-transposed tiles (one pass over the local block).
+        yield from comm.copy(my_rows * n * elem_bytes)
+        if execute_data:
+            tiles = extract_send_tiles(np.asarray(local), size)
+        else:
+            tiles = [
+                PhantomArray((b - a, my_rows), "complex64") for a, b in bounds
+            ]
+        received = yield from comm.alltoall(tiles, algorithm=alltoall_algorithm)
+
+        # Unpack: concatenate tiles into this rank's block of the transpose.
+        yield from comm.copy(my_rows * n * elem_bytes)
+        if execute_data:
+            local = assemble_received_tiles([np.asarray(t) for t in received], n)
+        else:
+            local = PhantomArray((my_rows, n), "complex64")
+
+        timings.finishes.append(comm.now)
+        if keep_result and k == iterations - 1:
+            timings.final_block = local
+    return timings

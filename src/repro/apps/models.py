@@ -1,0 +1,103 @@
+"""SAGE application models for the two Table 1.0 benchmarks.
+
+Both models use the distributed-source / distributed-sink structure of the
+MITRE benchmark kit: each compute node's memory already holds its row block
+(sensor DMA-in), and each node emits its block of the result (DMA-out), so
+the measured latency is dominated by the kernels and the corner-turn
+exchange rather than by a host-node scatter/gather.
+
+The corner turn appears purely as a *striping relationship*: an arc whose
+source port is striped on axis 0 and whose destination port is striped on
+axis 1 forces the run-time to perform the all-to-all tile exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.model import (
+    ApplicationModel,
+    DataType,
+    FunctionBlock,
+    Mapping,
+    round_robin_mapping,
+    striped,
+)
+
+__all__ = ["fft2d_model", "corner_turn_model", "benchmark_mapping"]
+
+
+def _matrix_type(n: int) -> DataType:
+    return DataType(f"cfloat_matrix_{n}", "complex64", (n, n))
+
+
+def fft2d_model(n: int, nodes: int, seed: int = 1234) -> ApplicationModel:
+    """Parallel 2D FFT: row FFTs -> corner turn -> column FFTs.
+
+    ``src(out striped0) -> rowfft(striped0 -> striped0)
+    -> colfft(striped1 -> striped1) -> sink(striped1)``
+
+    The rowfft->colfft arc changes stripe axis: that is the distributed
+    corner turn embedded in the 2D FFT.
+    """
+    _check(n, nodes)
+    t = _matrix_type(n)
+    app = ApplicationModel(f"fft2d_{n}x{n}_{nodes}n")
+    src = app.add_block(
+        FunctionBlock("src", kernel="matrix_source", threads=nodes,
+                      params={"n": n, "seed": seed})
+    )
+    src.add_out("out", t, striped(0))
+    rowfft = app.add_block(FunctionBlock("rowfft", kernel="fft_rows", threads=nodes))
+    rowfft.add_in("in", t, striped(0))
+    rowfft.add_out("out", t, striped(0))
+    colfft = app.add_block(FunctionBlock("colfft", kernel="fft_cols", threads=nodes))
+    colfft.add_in("in", t, striped(1))
+    colfft.add_out("out", t, striped(1))
+    sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink", threads=nodes))
+    sink.add_in("in", t, striped(1))
+    app.connect(src.port("out"), rowfft.port("in"))
+    app.connect(rowfft.port("out"), colfft.port("in"))
+    app.connect(colfft.port("out"), sink.port("in"))
+    return app
+
+
+def corner_turn_model(n: int, nodes: int, seed: int = 1234) -> ApplicationModel:
+    """Distributed corner turn: row-block matrix -> row-block transpose.
+
+    ``src(out striped0) -> turn(in striped1, out striped0) -> sink(striped0)``
+
+    The src->turn arc is the all-to-all; ``block_transpose`` locally
+    transposes each received column block into the corresponding row block
+    of the transposed matrix.
+    """
+    _check(n, nodes)
+    t = _matrix_type(n)
+    app = ApplicationModel(f"cornerturn_{n}x{n}_{nodes}n")
+    src = app.add_block(
+        FunctionBlock("src", kernel="matrix_source", threads=nodes,
+                      params={"n": n, "seed": seed})
+    )
+    src.add_out("out", t, striped(0))
+    turn = app.add_block(FunctionBlock("turn", kernel="block_transpose", threads=nodes))
+    turn.add_in("in", t, striped(1))
+    turn.add_out("out", t, striped(0))
+    sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink", threads=nodes))
+    sink.add_in("in", t, striped(0))
+    app.connect(src.port("out"), turn.port("in"))
+    app.connect(turn.port("out"), sink.port("in"))
+    return app
+
+
+def benchmark_mapping(app: ApplicationModel, nodes: int) -> Mapping:
+    """The benchmark layout: thread t of every function on processor t."""
+    return round_robin_mapping(app, nodes)
+
+
+def _check(n: int, nodes: int) -> None:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"matrix size must be a power of two, got {n}")
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    if n % nodes:
+        raise ValueError(f"matrix size {n} must divide evenly over {nodes} nodes")

@@ -1,0 +1,53 @@
+"""Benchmark workload generators.
+
+§3.1: the benchmarks run on a 1024x1024 data matrix (with 256 and 512 sweeps
+in Table 1.0), complex single-precision as in the MITRE/Rome Laboratories
+kit.  Generation is deterministic per (seed, iteration) so hand-coded and
+SAGE runs consume bit-identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.runtime.phantom import PhantomArray
+from ..kernels.cornerturn import row_block_bounds
+
+__all__ = ["matrix_workload", "MatrixProvider"]
+
+
+def matrix_workload(n: int, iteration: int = 0, seed: int = 1234) -> np.ndarray:
+    """The iteration-``k`` input matrix: deterministic complex64 noise."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, iteration]))
+    re = rng.standard_normal((n, n), dtype=np.float32)
+    im = rng.standard_normal((n, n), dtype=np.float32)
+    return (re + 1j * im).astype(np.complex64)
+
+
+class MatrixProvider:
+    """Callable input provider with caching and per-rank block access."""
+
+    def __init__(self, n: int, seed: int = 1234, phantom: bool = False):
+        self.n = n
+        self.seed = seed
+        self.phantom = phantom
+        self._cache: dict = {}
+
+    def __call__(self, iteration: int) -> np.ndarray:
+        """Full matrix for iteration ``iteration`` (the SAGE source hook)."""
+        if self.phantom:
+            return PhantomArray((self.n, self.n), "complex64")
+        if iteration not in self._cache:
+            self._cache[iteration] = matrix_workload(self.n, iteration, self.seed)
+        return self._cache[iteration]
+
+    def block(self, iteration: int, rank: int, size: int):
+        """Rank ``rank``'s row block (what a hand-coded rank generates locally)."""
+        a, b = row_block_bounds(self.n, size)[rank]
+        if self.phantom:
+            return PhantomArray((b - a, self.n), "complex64")
+        return np.ascontiguousarray(self(iteration)[a:b])

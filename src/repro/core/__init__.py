@@ -1,0 +1,5 @@
+"""SAGE core: Designer model, Alter language, codegen, run-time, AToT, Visualizer."""
+
+from . import alter, atot, codegen, model, runtime, visualizer
+
+__all__ = ["alter", "atot", "codegen", "model", "runtime", "visualizer"]

@@ -1,0 +1,21 @@
+"""The Alter language: lexer, reader, evaluator, and SAGE model builtins."""
+
+from .errors import AlterError, AlterRuntimeError, AlterSyntaxError
+from .lexer import Token, tokenize
+from .parser import Symbol, parse, parse_one, to_source
+from .interpreter import Environment, Interpreter, Lambda
+
+__all__ = [
+    "AlterError",
+    "AlterRuntimeError",
+    "AlterSyntaxError",
+    "Token",
+    "tokenize",
+    "Symbol",
+    "parse",
+    "parse_one",
+    "to_source",
+    "Environment",
+    "Interpreter",
+    "Lambda",
+]

@@ -1,0 +1,407 @@
+"""Alter standard library: traditional builtins plus the SAGE model-access calls.
+
+§2: Alter is *"designed to enable the tool developer to traverse the objects
+and arc connections in a model, collect the relevant information from the
+various attributes and properties, and then output the information in a
+particular format"*.  Three groups of builtins implement that charter:
+
+* the usual Lisp kit (arithmetic, lists, strings, higher-order functions),
+* model access (``object-name``, ``get-property``, ``function-instances``,
+  ``flattened-arcs``, port and mapping accessors), and
+* emission (``emit`` / ``emit-line`` / ``py-repr``), which is how glue source
+  text leaves the interpreter.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List
+
+from .errors import AlterRuntimeError
+from .parser import Symbol, to_source
+
+__all__ = ["standard_builtins"]
+
+
+def _display(value: Any) -> str:
+    """Human rendering: strings raw, #t/#f for booleans, lists recursively."""
+    if isinstance(value, bool):
+        return "#t" if value else "#f"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return str(value)
+    if isinstance(value, list):
+        return "(" + " ".join(_display(v) for v in value) + ")"
+    if value is None:
+        return "nil"
+    return str(value)
+
+
+def _num(value: Any, what: str) -> Any:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise AlterRuntimeError(f"{what} expects numbers, got {to_source(value)}")
+    return value
+
+
+def _require_list(value: Any, what: str) -> List[Any]:
+    if not isinstance(value, list):
+        raise AlterRuntimeError(f"{what} expects a list, got {to_source(value)}")
+    return value
+
+
+def standard_builtins(interp) -> Dict[str, Callable]:
+    """Build the global-environment bindings for an interpreter instance."""
+
+    # -- emission ------------------------------------------------------------
+    def emit(*args):
+        interp.emit_buffer.extend(_display(a) for a in args)
+        return None
+
+    def emit_line(*args):
+        emit(*args)
+        interp.emit_buffer.append("\n")
+        return None
+
+    # -- variadic arithmetic ---------------------------------------------------
+    def plus(*args):
+        return sum(_num(a, "+") for a in args)
+
+    def minus(first, *rest):
+        _num(first, "-")
+        if not rest:
+            return -first
+        return functools.reduce(lambda a, b: a - _num(b, "-"), rest, first)
+
+    def times(*args):
+        out = 1
+        for a in args:
+            out *= _num(a, "*")
+        return out
+
+    def divide(first, *rest):
+        _num(first, "/")
+        if not rest:
+            rest, first = (first,), 1
+        out = first
+        for b in rest:
+            b = _num(b, "/")
+            if b == 0:
+                raise AlterRuntimeError("division by zero")
+            out = out / b
+        if isinstance(out, float) and out.is_integer():
+            return int(out)
+        return out
+
+    def _chain(op):
+        def cmp(*args):
+            if len(args) < 2:
+                raise AlterRuntimeError("comparison needs at least 2 args")
+            return all(op(_num(a, "cmp"), _num(b, "cmp")) for a, b in zip(args, args[1:]))
+
+        return cmp
+
+    # -- lists ------------------------------------------------------------------
+    def car(lst):
+        lst = _require_list(lst, "car")
+        if not lst:
+            raise AlterRuntimeError("car of empty list")
+        return lst[0]
+
+    def cdr(lst):
+        lst = _require_list(lst, "cdr")
+        if not lst:
+            raise AlterRuntimeError("cdr of empty list")
+        return lst[1:]
+
+    def list_ref(lst, i):
+        lst = _require_list(lst, "list-ref")
+        if not isinstance(i, int) or not (0 <= i < len(lst)):
+            raise AlterRuntimeError(f"list-ref index {i} out of range")
+        return lst[i]
+
+    def map_fn(fn, *lists):
+        lists = [_require_list(l, "map") for l in lists]
+        return [interp.call(fn, list(args)) for args in zip(*lists)]
+
+    def for_each(fn, *lists):
+        lists = [_require_list(l, "for-each") for l in lists]
+        for args in zip(*lists):
+            interp.call(fn, list(args))
+        return None
+
+    def filter_fn(fn, lst):
+        return [x for x in _require_list(lst, "filter") if _truthy(interp.call(fn, [x]))]
+
+    def sort_fn(lst, *key):
+        lst = list(_require_list(lst, "sort"))
+        if key:
+            return sorted(lst, key=lambda x: interp.call(key[0], [x]))
+        return sorted(lst)
+
+    def fold(fn, init, lst):
+        acc = init
+        for x in _require_list(lst, "fold"):
+            acc = interp.call(fn, [acc, x])
+        return acc
+
+    def assoc(key, alist):
+        for pair in _require_list(alist, "assoc"):
+            pair = _require_list(pair, "assoc entry")
+            if pair and pair[0] == key:
+                return pair
+        return False
+
+    # -- strings ------------------------------------------------------------------
+    def fmt(template, *args):
+        """(format "f=~a id=~a~%" ...) with ~a (display), ~s (write), ~% (newline), ~~."""
+        if not isinstance(template, str):
+            raise AlterRuntimeError("format needs a string template")
+        out: List[str] = []
+        argq = list(args)
+        i = 0
+        while i < len(template):
+            ch = template[i]
+            if ch == "~":
+                if i + 1 >= len(template):
+                    raise AlterRuntimeError("dangling ~ in format")
+                d = template[i + 1]
+                if d == "a":
+                    if not argq:
+                        raise AlterRuntimeError("format: not enough arguments")
+                    out.append(_display(argq.pop(0)))
+                elif d == "s":
+                    if not argq:
+                        raise AlterRuntimeError("format: not enough arguments")
+                    out.append(to_source(argq.pop(0)))
+                elif d == "%":
+                    out.append("\n")
+                elif d == "~":
+                    out.append("~")
+                else:
+                    raise AlterRuntimeError(f"format: unknown directive ~{d}")
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        if argq:
+            raise AlterRuntimeError(f"format: {len(argq)} unused argument(s)")
+        return "".join(out)
+
+    def substring(s, start, end=None):
+        if not isinstance(s, str):
+            raise AlterRuntimeError("substring expects a string")
+        return s[start:end]
+
+    def string_split(s, sep=None):
+        if not isinstance(s, str):
+            raise AlterRuntimeError("string-split expects a string")
+        return s.split(sep) if sep else s.split()
+
+    def string_to_number(s):
+        try:
+            return int(s)
+        except (TypeError, ValueError):
+            pass
+        try:
+            return float(s)
+        except (TypeError, ValueError):
+            return False  # Scheme convention: #f on failure
+
+    # -- hash tables -----------------------------------------------------------
+    def hash_ref(h, key, *default):
+        if not isinstance(h, dict):
+            raise AlterRuntimeError("hash-ref expects a hash")
+        if key in h:
+            return h[key]
+        if default:
+            return default[0]
+        raise AlterRuntimeError(f"hash-ref: missing key {to_source(key)}")
+
+    def hash_set(h, key, value):
+        if not isinstance(h, dict):
+            raise AlterRuntimeError("hash-set! expects a hash")
+        h[key] = value
+        return None
+
+    def hash_update(h, key, fn, *default):
+        if not isinstance(h, dict):
+            raise AlterRuntimeError("hash-update! expects a hash")
+        current = h.get(key, default[0]) if default else hash_ref(h, key)
+        h[key] = interp.call(fn, [current])
+        return None
+
+    # -- model access ------------------------------------------------------------
+    def get_property(obj, key, *default):
+        if not hasattr(obj, "get_property"):
+            raise AlterRuntimeError(f"get-property: not a model object: {obj!r}")
+        sentinel = object()
+        value = obj.get_property(str(key), default[0] if default else sentinel)
+        if value is sentinel:
+            raise AlterRuntimeError(f"object {obj.name!r} has no property {key!r}")
+        return value
+
+    def set_property(obj, key, value):
+        if not hasattr(obj, "set_property"):
+            raise AlterRuntimeError(f"set-property!: not a model object: {obj!r}")
+        obj.set_property(str(key), value)
+        return None
+
+    def dict_to_alist(d):
+        if not isinstance(d, dict):
+            raise AlterRuntimeError("dict->alist expects a dict")
+        return [[k, v] for k, v in sorted(d.items(), key=lambda kv: str(kv[0]))]
+
+    builtins: Dict[str, Callable] = {
+        # emission
+        "emit": emit,
+        "emit-line": emit_line,
+        "py-repr": lambda v: repr(v),
+        "display": emit,
+        "newline": lambda: emit("\n"),
+        # arithmetic
+        "+": plus,
+        "-": minus,
+        "*": times,
+        "/": divide,
+        "mod": lambda a, b: _num(a, "mod") % _num(b, "mod"),
+        "quotient": lambda a, b: _num(a, "quotient") // _num(b, "quotient"),
+        "min": lambda *a: min(_num(x, "min") for x in a),
+        "max": lambda *a: max(_num(x, "max") for x in a),
+        "abs": lambda a: abs(_num(a, "abs")),
+        "=": _chain(lambda a, b: a == b),
+        "<": _chain(lambda a, b: a < b),
+        ">": _chain(lambda a, b: a > b),
+        "<=": _chain(lambda a, b: a <= b),
+        ">=": _chain(lambda a, b: a >= b),
+        "zero?": lambda a: _num(a, "zero?") == 0,
+        "not": lambda a: not _truthy(a),
+        "eq?": lambda a, b: a is b or (a == b and type(a) == type(b)),
+        "equal?": lambda a, b: a == b,
+        # lists
+        "list": lambda *a: list(a),
+        "car": car,
+        "cdr": cdr,
+        "cons": lambda a, lst: [a] + _require_list(lst, "cons"),
+        "append": lambda *ls: sum((_require_list(l, "append") for l in ls), []),
+        "length": lambda l: len(_require_list(l, "length")),
+        "reverse": lambda l: list(reversed(_require_list(l, "reverse"))),
+        "null?": lambda l: isinstance(l, list) and not l,
+        "pair?": lambda l: isinstance(l, list) and bool(l),
+        "list?": lambda l: isinstance(l, list),
+        "list-ref": list_ref,
+        "member": lambda x, l: x in _require_list(l, "member"),
+        "map": map_fn,
+        "for-each": for_each,
+        "filter": filter_fn,
+        "sort": sort_fn,
+        "fold": fold,
+        "assoc": assoc,
+        "range": lambda n, *m: list(range(n, m[0]) if m else range(n)),
+        "apply": lambda fn, args: interp.call(fn, _require_list(args, "apply")),
+        # strings
+        "string-append": lambda *ss: "".join(str(s) for s in ss),
+        "string-length": lambda s: len(s),
+        "substring": substring,
+        "string-upcase": lambda s: str(s).upper(),
+        "string-downcase": lambda s: str(s).lower(),
+        "string-join": lambda ls, sep: str(sep).join(
+            _display(x) for x in _require_list(ls, "string-join")
+        ),
+        "number->string": lambda n: _display(_num(n, "number->string")),
+        "string->number": string_to_number,
+        "string->symbol": lambda s: Symbol(str(s)),
+        "symbol->string": lambda s: str(s),
+        "string-split": string_split,
+        "string-contains?": lambda s, sub: str(sub) in str(s),
+        "string-replace": lambda s, old, new: str(s).replace(str(old), str(new)),
+        "string-index": lambda s, sub: str(s).find(str(sub)),
+        "string-trim": lambda s: str(s).strip(),
+        "string-repeat": lambda s, n: str(s) * int(n),
+        "format": fmt,
+        # hash tables
+        "make-hash": lambda: {},
+        "hash?": lambda h: isinstance(h, dict),
+        "hash-ref": hash_ref,
+        "hash-set!": hash_set,
+        "hash-update!": hash_update,
+        "hash-has?": lambda h, k: isinstance(h, dict) and k in h,
+        "hash-remove!": lambda h, k: (h.pop(k, None), None)[1],
+        "hash-keys": lambda h: sorted(h.keys(), key=_display),
+        "hash-count": lambda h: len(h),
+        "hash->alist": dict_to_alist,
+        # predicates
+        "string?": lambda v: isinstance(v, str) and not isinstance(v, Symbol),
+        "number?": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "symbol?": lambda v: isinstance(v, Symbol),
+        "boolean?": lambda v: isinstance(v, bool),
+        "procedure?": callable,
+        # errors
+        "error": _raise_error,
+        # model access (§2 "standard calls to access certain features in SAGE")
+        "object-name": lambda o: _attr(o, "name", "object-name"),
+        "object-type": lambda o: _attr(o, "object_type", "object-type"),
+        "object-id": lambda o: _attr(o, "object_id", "object-id"),
+        "get-property": get_property,
+        "set-property!": set_property,
+        "function-instances": lambda m: _call_model(m, "function_instances"),
+        "flattened-arcs": lambda m: [list(pair) for pair in _call_model(m, "flattened_arcs")],
+        "topological-order": lambda m: _call_model(m, "topological_order"),
+        "instance-id": lambda i: _attr(i, "function_id", "instance-id"),
+        "instance-path": lambda i: _attr(i, "path", "instance-path"),
+        "instance-kernel": lambda i: _attr(i, "kernel", "instance-kernel"),
+        "instance-threads": lambda i: _attr(i, "threads", "instance-threads"),
+        "instance-params": lambda i: dict_to_alist(_attr(i, "block", "instance-params").params),
+        "instance-block": lambda i: _attr(i, "block", "instance-block"),
+        "block-ports": lambda b: list(_attr(b, "ports", "block-ports").values()),
+        "block-of": lambda p: _attr(p, "block", "block-of"),
+        "port-name": lambda p: _attr(p, "name", "port-name"),
+        "port-direction": lambda p: _attr(p, "direction", "port-direction"),
+        "port-striping-kind": lambda p: _attr(p, "striping", "port-striping-kind").kind,
+        "port-stripe-axis": lambda p: _attr(p, "striping", "port-stripe-axis").axis,
+        "port-stripe-block": lambda p: _attr(p, "striping", "port-stripe-block").block,
+        "port-dtype": lambda p: _attr(p, "datatype", "port-dtype").dtype,
+        "port-shape": lambda p: list(_attr(p, "datatype", "port-shape").shape),
+        "port-elem-bytes": lambda p: _attr(p, "datatype", "port-elem-bytes").elem_bytes,
+        "port-total-bytes": lambda p: _attr(p, "datatype", "port-total-bytes").total_bytes,
+        "mapping-processor": lambda m, fid, t: m.processor_of(fid, t),
+        "dict->alist": dict_to_alist,
+        "dict-ref": _dict_ref,
+        # constants
+        "nil": None,
+        "true": True,
+        "false": False,
+    }
+    return builtins
+
+
+def _truthy(value: Any) -> bool:
+    return value is not False and value is not None
+
+
+def _raise_error(*args):
+    raise AlterRuntimeError(" ".join(_display(a) for a in args))
+
+
+def _attr(obj: Any, attr: str, what: str) -> Any:
+    try:
+        return getattr(obj, attr)
+    except AttributeError:
+        raise AlterRuntimeError(f"{what}: unsuitable object {obj!r}") from None
+
+
+def _call_model(model: Any, method: str) -> Any:
+    try:
+        return getattr(model, method)()
+    except AttributeError:
+        raise AlterRuntimeError(f"not a model: {model!r}") from None
+
+
+def _dict_ref(d: Any, key: Any, *default: Any) -> Any:
+    if not isinstance(d, dict):
+        raise AlterRuntimeError("dict-ref expects a dict")
+    if key in d:
+        return d[key]
+    if default:
+        return default[0]
+    raise AlterRuntimeError(f"dict-ref: missing key {key!r}")

@@ -1,0 +1,20 @@
+"""Alter language error types."""
+
+__all__ = ["AlterError", "AlterSyntaxError", "AlterRuntimeError"]
+
+
+class AlterError(Exception):
+    """Base class for Alter language failures."""
+
+
+class AlterSyntaxError(AlterError):
+    """Lexing/parsing failure; carries source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+class AlterRuntimeError(AlterError):
+    """Evaluation failure."""

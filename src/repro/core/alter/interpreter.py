@@ -1,0 +1,341 @@
+"""Alter evaluator.
+
+§2: *"The basic Alter language provides the constructs to perform the
+traditional programming tasks, such as procedure encapsulation,
+conditionals, looping, variable declaration, and recursion. The language
+also includes a set of standard calls to access certain features in SAGE,
+such as setting or retrieving a property value from an object."*
+
+This is a proper environment-passing evaluator with closures, tail-call
+elimination (so model-traversal recursion over big graphs cannot blow the
+Python stack), and the standard special forms.  The SAGE-access standard
+calls live in :mod:`repro.core.alter.builtins`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import AlterRuntimeError
+from .parser import Symbol, parse, to_source
+
+__all__ = ["Environment", "Lambda", "Interpreter"]
+
+
+class Environment:
+    """A lexical scope chain."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Environment"] = None):
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise AlterRuntimeError(f"unbound symbol '{name}'")
+
+    def define(self, name: str, value: Any) -> None:
+        self.vars[name] = value
+
+    def set(self, name: str, value: Any) -> None:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.vars:
+                env.vars[name] = value
+                return
+            env = env.parent
+        raise AlterRuntimeError(f"set! of unbound symbol '{name}'")
+
+
+class Lambda:
+    """A closure: parameter list, body, and defining environment."""
+
+    __slots__ = ("params", "rest", "body", "env", "name")
+
+    def __init__(self, params: List[str], rest: Optional[str], body: List[Any],
+                 env: Environment, name: str = "<lambda>"):
+        self.params = params
+        self.rest = rest
+        self.body = body
+        self.env = env
+        self.name = name
+
+    def bind(self, args: List[Any]) -> Environment:
+        if self.rest is None and len(args) != len(self.params):
+            raise AlterRuntimeError(
+                f"{self.name}: expected {len(self.params)} args, got {len(args)}"
+            )
+        if self.rest is not None and len(args) < len(self.params):
+            raise AlterRuntimeError(
+                f"{self.name}: expected at least {len(self.params)} args, got {len(args)}"
+            )
+        env = Environment(self.env)
+        for p, a in zip(self.params, args):
+            env.define(p, a)
+        if self.rest is not None:
+            env.define(self.rest, list(args[len(self.params):]))
+        return env
+
+
+class Interpreter:
+    """Evaluates Alter programs against a global environment."""
+
+    def __init__(self, extra_builtins: Optional[Dict[str, Callable]] = None):
+        from .builtins import standard_builtins  # circular-free: late import
+
+        self.globals = Environment()
+        self.emit_buffer: List[str] = []
+        for name, fn in standard_builtins(self).items():
+            self.globals.define(name, fn)
+        for name, fn in (extra_builtins or {}).items():
+            self.globals.define(name, fn)
+
+    # -- public API -----------------------------------------------------------
+    def run(self, source: str) -> Any:
+        """Parse and evaluate a program; returns the last expression's value."""
+        result = None
+        for expr in parse(source):
+            result = self.eval(expr, self.globals)
+        return result
+
+    def output(self) -> str:
+        """Everything emitted so far via (emit ...) / (emit-line ...)."""
+        return "".join(self.emit_buffer)
+
+    def reset_output(self) -> None:
+        self.emit_buffer.clear()
+
+    def call(self, fn: Any, args: List[Any]) -> Any:
+        """Apply an Alter value (closure or Python callable) from Python."""
+        if isinstance(fn, Lambda):
+            env = fn.bind(args)
+            result = None
+            for expr in fn.body:
+                result = self.eval(expr, env)
+            return result
+        if callable(fn):
+            return fn(*args)
+        raise AlterRuntimeError(f"not callable: {to_source(fn)}")
+
+    # -- evaluator ------------------------------------------------------------
+    def eval(self, expr: Any, env: Environment) -> Any:  # noqa: C901 (dispatcher)
+        while True:  # tail-call trampoline
+            if isinstance(expr, Symbol):
+                return env.lookup(str(expr))
+            if not isinstance(expr, list):
+                return expr  # literal
+            if not expr:
+                return []
+            head = expr[0]
+            if isinstance(head, Symbol):
+                form = str(head)
+                if form == "quote":
+                    self._arity(expr, 2, "quote")
+                    return expr[1]
+                if form == "if":
+                    if len(expr) not in (3, 4):
+                        raise AlterRuntimeError("if needs 2 or 3 forms")
+                    if self._truthy(self.eval(expr[1], env)):
+                        expr = expr[2]
+                    elif len(expr) == 4:
+                        expr = expr[3]
+                    else:
+                        return None
+                    continue
+                if form == "cond":
+                    matched = False
+                    for clause in expr[1:]:
+                        if not isinstance(clause, list) or not clause:
+                            raise AlterRuntimeError("bad cond clause")
+                        test = clause[0]
+                        if (isinstance(test, Symbol) and str(test) == "else") or self._truthy(
+                            self.eval(test, env)
+                        ):
+                            if len(clause) == 1:
+                                return self.eval(test, env)
+                            for body_expr in clause[1:-1]:
+                                self.eval(body_expr, env)
+                            expr = clause[-1]
+                            matched = True
+                            break
+                    if matched:
+                        continue
+                    return None
+                if form == "define":
+                    return self._eval_define(expr, env)
+                if form == "set!":
+                    self._arity(expr, 3, "set!")
+                    name = expr[1]
+                    if not isinstance(name, Symbol):
+                        raise AlterRuntimeError("set! needs a symbol")
+                    env.set(str(name), self.eval(expr[2], env))
+                    return None
+                if form == "lambda":
+                    if len(expr) < 3:
+                        raise AlterRuntimeError("lambda needs params and body")
+                    params, rest = self._parse_params(expr[1])
+                    return Lambda(params, rest, expr[2:], env)
+                if form == "let" and len(expr) >= 4 and isinstance(expr[1], Symbol):
+                    # Named let: (let loop ((v init) ...) body...) — a local
+                    # recursive procedure applied to the initial values.
+                    name = str(expr[1])
+                    bindings = expr[2]
+                    if not isinstance(bindings, list):
+                        raise AlterRuntimeError("named let needs a binding list")
+                    params = [self._binding_name(b) for b in bindings]
+                    inits = [self.eval(b[1], env) for b in bindings]
+                    loop_env = Environment(env)
+                    fn = Lambda(params, None, expr[3:], loop_env, name=name)
+                    loop_env.define(name, fn)
+                    env = fn.bind(inits)
+                    for body_expr in fn.body[:-1]:
+                        self.eval(body_expr, env)
+                    expr = fn.body[-1]
+                    continue
+                if form in ("let", "let*"):
+                    if len(expr) < 3 or not isinstance(expr[1], list):
+                        raise AlterRuntimeError(f"{form} needs bindings and body")
+                    if form == "let":
+                        values = [
+                            (self._binding_name(b), self.eval(b[1], env))
+                            for b in expr[1]
+                        ]
+                        inner = Environment(env)
+                        for name, val in values:
+                            inner.define(name, val)
+                    else:
+                        inner = Environment(env)
+                        for b in expr[1]:
+                            inner.define(self._binding_name(b), self.eval(b[1], inner))
+                    for body_expr in expr[2:-1]:
+                        self.eval(body_expr, inner)
+                    expr, env = expr[-1], inner
+                    continue
+                if form == "begin":
+                    if len(expr) == 1:
+                        return None
+                    for body_expr in expr[1:-1]:
+                        self.eval(body_expr, env)
+                    expr = expr[-1]
+                    continue
+                if form == "while":
+                    if len(expr) < 2:
+                        raise AlterRuntimeError("while needs a test")
+                    result = None
+                    while self._truthy(self.eval(expr[1], env)):
+                        for body_expr in expr[2:]:
+                            result = self.eval(body_expr, env)
+                    return result
+                if form == "and":
+                    value: Any = True
+                    for sub in expr[1:]:
+                        value = self.eval(sub, env)
+                        if not self._truthy(value):
+                            return value
+                    return value
+                if form == "or":
+                    for sub in expr[1:]:
+                        value = self.eval(sub, env)
+                        if self._truthy(value):
+                            return value
+                    return False
+                if form == "when":
+                    if len(expr) < 2:
+                        raise AlterRuntimeError("when needs a test")
+                    if self._truthy(self.eval(expr[1], env)):
+                        result = None
+                        for body_expr in expr[2:]:
+                            result = self.eval(body_expr, env)
+                        return result
+                    return None
+                if form == "unless":
+                    if len(expr) < 2:
+                        raise AlterRuntimeError("unless needs a test")
+                    if not self._truthy(self.eval(expr[1], env)):
+                        result = None
+                        for body_expr in expr[2:]:
+                            result = self.eval(body_expr, env)
+                        return result
+                    return None
+            # -- function application ------------------------------------------
+            fn = self.eval(head, env)
+            args = [self.eval(a, env) for a in expr[1:]]
+            if isinstance(fn, Lambda):
+                env = fn.bind(args)
+                for body_expr in fn.body[:-1]:
+                    self.eval(body_expr, env)
+                expr = fn.body[-1]
+                continue  # tail position
+            if callable(fn):
+                try:
+                    return fn(*args)
+                except AlterRuntimeError:
+                    raise
+                except Exception as exc:
+                    raise AlterRuntimeError(
+                        f"error in {to_source(head)}: {exc}"
+                    ) from exc
+            raise AlterRuntimeError(f"not callable: {to_source(head)}")
+
+    # -- helpers ---------------------------------------------------------------
+    def _eval_define(self, expr: List[Any], env: Environment) -> Any:
+        if len(expr) < 3:
+            raise AlterRuntimeError("define needs a name and a value")
+        target = expr[1]
+        if isinstance(target, Symbol):
+            self._arity(expr, 3, "define")
+            env.define(str(target), self.eval(expr[2], env))
+            return None
+        if isinstance(target, list) and target and isinstance(target[0], Symbol):
+            # (define (f a b) body...) sugar
+            name = str(target[0])
+            params, rest = self._parse_params(target[1:])
+            env.define(name, Lambda(params, rest, expr[2:], env, name=name))
+            return None
+        raise AlterRuntimeError("bad define target")
+
+    @staticmethod
+    def _parse_params(param_expr: Any):
+        if not isinstance(param_expr, list):
+            raise AlterRuntimeError("parameter list must be a list")
+        params: List[str] = []
+        rest: Optional[str] = None
+        it = iter(param_expr)
+        for p in it:
+            if isinstance(p, Symbol) and str(p) == ".":
+                try:
+                    rest_sym = next(it)
+                except StopIteration:
+                    raise AlterRuntimeError("rest parameter missing after '.'") from None
+                if not isinstance(rest_sym, Symbol):
+                    raise AlterRuntimeError("rest parameter must be a symbol")
+                rest = str(rest_sym)
+                break
+            if not isinstance(p, Symbol):
+                raise AlterRuntimeError("parameters must be symbols")
+            params.append(str(p))
+        return params, rest
+
+    @staticmethod
+    def _binding_name(binding: Any) -> str:
+        if (
+            not isinstance(binding, list)
+            or len(binding) != 2
+            or not isinstance(binding[0], Symbol)
+        ):
+            raise AlterRuntimeError("let binding must be (name value)")
+        return str(binding[0])
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return value is not False and value is not None
+
+    @staticmethod
+    def _arity(expr: List[Any], n: int, what: str) -> None:
+        if len(expr) != n:
+            raise AlterRuntimeError(f"{what} takes {n - 1} argument(s)")

@@ -1,0 +1,81 @@
+"""Alter reader: tokens -> s-expression trees.
+
+Expressions are represented with plain Python values: lists for compound
+forms, :class:`Symbol` for identifiers, and str/int/float/bool for literals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .errors import AlterSyntaxError
+from .lexer import Token, tokenize
+
+__all__ = ["Symbol", "parse", "parse_one", "to_source"]
+
+
+class Symbol(str):
+    """An Alter identifier (a distinct type so strings stay literal)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return str(self)
+
+
+def parse(source: str) -> List[Any]:
+    """Parse a whole program: a list of top-level expressions."""
+    tokens = tokenize(source)
+    pos = 0
+    out: List[Any] = []
+    while pos < len(tokens):
+        expr, pos = _read(tokens, pos)
+        out.append(expr)
+    return out
+
+
+def parse_one(source: str) -> Any:
+    """Parse exactly one expression."""
+    exprs = parse(source)
+    if len(exprs) != 1:
+        raise AlterSyntaxError(f"expected one expression, got {len(exprs)}")
+    return exprs[0]
+
+
+def _read(tokens: List[Token], pos: int):
+    if pos >= len(tokens):
+        raise AlterSyntaxError("unexpected end of input")
+    tok = tokens[pos]
+    if tok.kind == "lparen":
+        pos += 1
+        items: List[Any] = []
+        while True:
+            if pos >= len(tokens):
+                raise AlterSyntaxError("unclosed '('", tok.line, tok.col)
+            if tokens[pos].kind == "rparen":
+                return items, pos + 1
+            expr, pos = _read(tokens, pos)
+            items.append(expr)
+    if tok.kind == "rparen":
+        raise AlterSyntaxError("unexpected ')'", tok.line, tok.col)
+    if tok.kind == "quote":
+        expr, pos = _read(tokens, pos + 1)
+        return [Symbol("quote"), expr], pos
+    if tok.kind == "symbol":
+        return Symbol(tok.value), pos + 1
+    # string / number / bool literals pass through
+    return tok.value, pos + 1
+
+
+def to_source(expr: Any) -> str:
+    """Render an expression back to Alter source (for messages and tests)."""
+    if isinstance(expr, bool):
+        return "#t" if expr else "#f"
+    if isinstance(expr, Symbol):
+        return str(expr)
+    if isinstance(expr, str):
+        escaped = expr.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    if isinstance(expr, list):
+        return "(" + " ".join(to_source(e) for e in expr) + ")"
+    return repr(expr)

@@ -1,0 +1,39 @@
+"""AToT: Architecture Trades and Optimization Tool (GA mapping, objectives, scheduling)."""
+
+from .ga import GaConfig, GaResult, genetic_algorithm
+from .anneal import AnnealConfig, AnnealResult, simulated_annealing
+from .objectives import CostBreakdown, MappingObjective, estimate_thread_flops
+from .partition import AtotResult, MappingProblem, optimize_mapping, random_mapping
+from .schedule import Schedule, ScheduledTask, ScheduledTransfer, list_schedule
+from .trades import (
+    CandidateArchitecture,
+    Requirements,
+    TradeResult,
+    architecture_trade_study,
+    format_trade_study,
+)
+
+__all__ = [
+    "GaConfig",
+    "GaResult",
+    "genetic_algorithm",
+    "AnnealConfig",
+    "AnnealResult",
+    "simulated_annealing",
+    "CostBreakdown",
+    "MappingObjective",
+    "estimate_thread_flops",
+    "AtotResult",
+    "MappingProblem",
+    "optimize_mapping",
+    "random_mapping",
+    "Schedule",
+    "ScheduledTask",
+    "ScheduledTransfer",
+    "list_schedule",
+    "CandidateArchitecture",
+    "Requirements",
+    "TradeResult",
+    "architecture_trade_study",
+    "format_trade_study",
+]

@@ -1,0 +1,115 @@
+"""AToT partitioning and mapping: the GA wired to the mapping problem.
+
+Chromosome encoding: one gene per (function instance, thread) slot in
+deterministic ID order; gene value = processor index.  The GA is seeded with
+the round-robin layout so the optimiser can only improve on the naive
+mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import random
+
+from ...machine.platforms import PlatformSpec
+from ..model.application import ApplicationModel
+from ..model.mapping import Mapping, round_robin_mapping
+from .ga import GaConfig, GaResult, genetic_algorithm
+from .objectives import CostBreakdown, MappingObjective
+
+__all__ = ["MappingProblem", "AtotResult", "optimize_mapping", "random_mapping"]
+
+
+@dataclass
+class AtotResult:
+    """Optimised mapping plus the objective breakdowns for reporting."""
+
+    mapping: Mapping
+    fitness: float
+    breakdown: CostBreakdown
+    ga: GaResult
+    baseline_fitness: float  # the round-robin seed's score
+
+    @property
+    def improvement(self) -> float:
+        """Fractional improvement over round-robin (0 = no better)."""
+        if self.baseline_fitness == 0:
+            return 0.0
+        return 1.0 - self.fitness / self.baseline_fitness
+
+
+class MappingProblem:
+    """Chromosome <-> Mapping translation for one application/platform pair."""
+
+    def __init__(self, app: ApplicationModel, platform: PlatformSpec, nodes: int,
+                 **objective_kwargs):
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        self.app = app
+        self.platform = platform
+        self.nodes = nodes
+        self.slots: List[Tuple[int, int]] = []
+        for inst in app.function_instances():
+            for t in range(inst.threads):
+                self.slots.append((inst.function_id, t))
+        if not self.slots:
+            raise ValueError("application has no function threads to map")
+        self.objective = MappingObjective(app, platform, nodes, **objective_kwargs)
+
+    def decode(self, chromosome: Tuple[int, ...]) -> Mapping:
+        if len(chromosome) != len(self.slots):
+            raise ValueError(
+                f"chromosome length {len(chromosome)} != {len(self.slots)} slots"
+            )
+        mapping = Mapping()
+        for (fid, t), proc in zip(self.slots, chromosome):
+            mapping.assign(fid, t, int(proc))
+        return mapping
+
+    def encode(self, mapping: Mapping) -> Tuple[int, ...]:
+        return tuple(mapping.processor_of(fid, t) for fid, t in self.slots)
+
+    def fitness(self, chromosome: Tuple[int, ...]) -> float:
+        return self.objective.fitness(self.decode(chromosome))
+
+
+def optimize_mapping(
+    app: ApplicationModel,
+    platform: PlatformSpec,
+    nodes: int,
+    config: GaConfig = GaConfig(),
+    latency_constraint: Optional[float] = None,
+    **objective_kwargs,
+) -> AtotResult:
+    """Run the AToT GA and return the best mapping found."""
+    if latency_constraint is not None:
+        objective_kwargs["latency_constraint"] = latency_constraint
+    problem = MappingProblem(app, platform, nodes, **objective_kwargs)
+    seed_chromosome = problem.encode(round_robin_mapping(app, nodes))
+    result = genetic_algorithm(
+        gene_count=len(problem.slots),
+        gene_values=nodes,
+        fitness=problem.fitness,
+        config=config,
+        seeds=[seed_chromosome],
+    )
+    best_mapping = problem.decode(result.best)
+    return AtotResult(
+        mapping=best_mapping,
+        fitness=result.best_fitness,
+        breakdown=problem.objective.breakdown(best_mapping),
+        ga=result,
+        baseline_fitness=problem.fitness(seed_chromosome),
+    )
+
+
+def random_mapping(app: ApplicationModel, nodes: int, seed: int = 0) -> Mapping:
+    """Uniformly random thread placement (the ablation baseline)."""
+    rng = random.Random(seed)
+    mapping = Mapping()
+    for inst in app.function_instances():
+        for t in range(inst.threads):
+            mapping.assign(inst.function_id, t, rng.randrange(nodes))
+    return mapping

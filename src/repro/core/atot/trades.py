@@ -1,0 +1,216 @@
+"""Architecture trade studies: AToT's hardware-selection half.
+
+§1.1: *"Once the performance requirements, application and hardware of the
+system are captured in the Designer, the information is sent to AToT. AToT
+will analyze and interpret the captured information, which drives
+optimization and trade-off activities ... After the architecture trades
+process has determined a target hardware architecture, the genetic
+algorithm based partitioning and mapping capability of AToT assigns the
+application tasks ..."*
+
+A trade study enumerates candidate hardware architectures (platform x node
+count), optimises the mapping for each, scores them against the captured
+performance requirements (latency / period / cost / power budgets), and
+returns the candidates with the Pareto-optimal ones marked.  Hardware cost
+and power figures are per-node attributes of the candidate descriptor (the
+"trade information" the Designer captures alongside the shelves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...machine.platforms import PLATFORMS, PlatformSpec, get_platform
+from ..model.application import ApplicationModel, ModelError
+from ..model.mapping import Mapping
+from .ga import GaConfig
+from .partition import optimize_mapping
+
+__all__ = [
+    "Requirements",
+    "CandidateArchitecture",
+    "TradeResult",
+    "architecture_trade_study",
+    "DEFAULT_NODE_ECONOMICS",
+]
+
+#: per-node (cost k$, power W) figures for the vendor boards, 1999 list-ish.
+DEFAULT_NODE_ECONOMICS: Dict[str, Tuple[float, float]] = {
+    "CSPI": (12.0, 25.0),
+    "Mercury": (18.0, 30.0),
+    "SKY": (16.0, 28.0),
+    "SIGI": (8.0, 22.0),
+}
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """The captured performance requirements driving the trade."""
+
+    max_latency: Optional[float] = None   # seconds per data set
+    max_period: Optional[float] = None    # seconds between data sets
+    max_cost: Optional[float] = None      # k$
+    max_power: Optional[float] = None     # watts
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("max_latency", "max_period", "max_cost", "max_power"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+
+
+@dataclass
+class CandidateArchitecture:
+    """One evaluated (platform, node count) point of the trade space."""
+
+    platform: str
+    nodes: int
+    mapping: Mapping = field(repr=False)
+    est_latency: float = 0.0
+    est_period: float = 0.0
+    cost: float = 0.0
+    power: float = 0.0
+    meets_requirements: bool = True
+    violations: List[str] = field(default_factory=list)
+    pareto_optimal: bool = False
+
+    def dominates(self, other: "CandidateArchitecture") -> bool:
+        """Pareto dominance over (latency, cost, power): no worse on all,
+        strictly better on at least one."""
+        mine = (self.est_latency, self.cost, self.power)
+        theirs = (other.est_latency, other.cost, other.power)
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+
+@dataclass
+class TradeResult:
+    """All evaluated candidates plus the recommendation."""
+
+    candidates: List[CandidateArchitecture]
+    requirements: Requirements
+
+    @property
+    def feasible(self) -> List[CandidateArchitecture]:
+        return [c for c in self.candidates if c.meets_requirements]
+
+    @property
+    def pareto(self) -> List[CandidateArchitecture]:
+        return [c for c in self.candidates if c.pareto_optimal]
+
+    @property
+    def recommended(self) -> Optional[CandidateArchitecture]:
+        """Cheapest feasible Pareto point (ties broken by latency)."""
+        pool = [c for c in self.feasible if c.pareto_optimal] or self.feasible
+        if not pool:
+            return None
+        return min(pool, key=lambda c: (c.cost, c.est_latency))
+
+
+def _thread_counts_fit(app: ApplicationModel, nodes: int) -> bool:
+    """Striped extents must be divisible-ish: require threads <= extent."""
+    for inst in app.function_instances():
+        for port in inst.block.ports.values():
+            if port.striping.is_striped:
+                extent = port.datatype.shape[port.striping.axis]
+                if inst.threads > extent:
+                    return False
+    return True
+
+
+def architecture_trade_study(
+    app: ApplicationModel,
+    requirements: Requirements = Requirements(),
+    platforms: Optional[Sequence[str]] = None,
+    node_counts: Sequence[int] = (2, 4, 8, 16),
+    node_economics: Optional[Dict[str, Tuple[float, float]]] = None,
+    ga_config: GaConfig = GaConfig(population=30, generations=15),
+    app_builder=None,
+) -> TradeResult:
+    """Evaluate the (platform x node count) trade space for an application.
+
+    ``app_builder(nodes) -> ApplicationModel`` optionally rebuilds the
+    application per node count (data-parallel designs size their thread
+    counts to the machine); when omitted the fixed ``app`` is used for every
+    candidate and must already be mappable onto each node count.
+    """
+    platforms = list(platforms or sorted(PLATFORMS))
+    economics = dict(DEFAULT_NODE_ECONOMICS)
+    economics.update(node_economics or {})
+    candidates: List[CandidateArchitecture] = []
+
+    for platform_name in platforms:
+        platform = get_platform(platform_name)
+        for nodes in node_counts:
+            if requirements.max_nodes is not None and nodes > requirements.max_nodes:
+                continue
+            candidate_app = app_builder(nodes) if app_builder else app
+            if not _thread_counts_fit(candidate_app, nodes):
+                continue
+            try:
+                atot = optimize_mapping(candidate_app, platform, nodes, config=ga_config)
+            except ModelError:
+                continue
+            latency = atot.breakdown.est_latency
+            unit_cost, unit_power = economics.get(platform.name, (10.0, 25.0))
+            candidate = CandidateArchitecture(
+                platform=platform.name,
+                nodes=nodes,
+                mapping=atot.mapping,
+                est_latency=latency,
+                # steady-state period bounded by the busiest stage; the
+                # critical-path estimate is a safe (pessimistic) proxy.
+                est_period=latency,
+                cost=unit_cost * nodes,
+                power=unit_power * nodes,
+            )
+            _check_requirements(candidate, requirements)
+            candidates.append(candidate)
+
+    for c in candidates:
+        c.pareto_optimal = not any(other.dominates(c) for other in candidates)
+    return TradeResult(candidates=candidates, requirements=requirements)
+
+
+def _check_requirements(c: CandidateArchitecture, req: Requirements) -> None:
+    checks = [
+        ("latency", req.max_latency, c.est_latency),
+        ("period", req.max_period, c.est_period),
+        ("cost", req.max_cost, c.cost),
+        ("power", req.max_power, c.power),
+    ]
+    for name, limit, value in checks:
+        if limit is not None and value > limit:
+            c.violations.append(f"{name} {value:.4g} exceeds {limit:.4g}")
+    c.meets_requirements = not c.violations
+
+
+def format_trade_study(result: TradeResult) -> str:
+    """Text rendering of a trade study."""
+    lines = [
+        "AToT architecture trade study",
+        f"{'platform':<10s}{'nodes':>6s}{'latency':>12s}{'cost k$':>9s}"
+        f"{'power W':>9s}{'feasible':>10s}{'pareto':>8s}",
+    ]
+    for c in sorted(result.candidates, key=lambda c: (c.platform, c.nodes)):
+        lines.append(
+            f"{c.platform:<10s}{c.nodes:>6d}{c.est_latency * 1e3:>10.2f}ms"
+            f"{c.cost:>9.0f}{c.power:>9.0f}"
+            f"{'yes' if c.meets_requirements else 'NO':>10s}"
+            f"{'*' if c.pareto_optimal else '':>8s}"
+        )
+    rec = result.recommended
+    if rec is not None:
+        lines.append(
+            f"recommended: {rec.platform} x {rec.nodes} nodes "
+            f"({rec.est_latency * 1e3:.2f} ms, {rec.cost:.0f} k$)"
+        )
+    else:
+        lines.append("recommended: none (no feasible candidate)")
+    return "\n".join(lines)
+
+
+__all__.append("format_trade_study")

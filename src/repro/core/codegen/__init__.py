@@ -1,0 +1,14 @@
+"""Glue-code generation: Alter scripts + driver producing run-time source files."""
+
+from .generator import GlueModule, generate_glue, load_glue_source
+from .scripts import ALL_SCRIPTS
+from .c_backend import C_SCRIPTS, generate_c_glue
+
+__all__ = [
+    "GlueModule",
+    "generate_glue",
+    "load_glue_source",
+    "ALL_SCRIPTS",
+    "C_SCRIPTS",
+    "generate_c_glue",
+]

@@ -1,0 +1,78 @@
+"""Designer model layer: application, data-type, and hardware editors."""
+
+from .datatypes import DataType, REPLICATED, STANDARD_TYPES, Striping, cyclic, striped
+from .application import (
+    IN,
+    OUT,
+    ApplicationModel,
+    Arc,
+    Block,
+    CompositeBlock,
+    FunctionBlock,
+    FunctionInstance,
+    ModelError,
+    ModelObject,
+    Port,
+)
+from .hardware import (
+    BoardElement,
+    HardwareModel,
+    ProcessorElement,
+    cspi_hardware,
+    from_platform,
+)
+from .mapping import Mapping, block_mapping, round_robin_mapping, single_node_mapping
+from .shelves import Shelf, hardware_shelf, software_shelf
+from .serialization import (
+    application_from_dict,
+    application_to_dict,
+    hardware_from_dict,
+    hardware_to_dict,
+    load_design,
+    save_design,
+)
+from .text_format import TextFormatError, parse_application, render_application
+from .validation import ValidationIssue, validate_application
+
+__all__ = [
+    "DataType",
+    "REPLICATED",
+    "STANDARD_TYPES",
+    "Striping",
+    "cyclic",
+    "striped",
+    "IN",
+    "OUT",
+    "ApplicationModel",
+    "Arc",
+    "Block",
+    "CompositeBlock",
+    "FunctionBlock",
+    "FunctionInstance",
+    "ModelError",
+    "ModelObject",
+    "Port",
+    "BoardElement",
+    "HardwareModel",
+    "ProcessorElement",
+    "cspi_hardware",
+    "from_platform",
+    "Mapping",
+    "block_mapping",
+    "round_robin_mapping",
+    "single_node_mapping",
+    "Shelf",
+    "hardware_shelf",
+    "software_shelf",
+    "ValidationIssue",
+    "validate_application",
+    "application_from_dict",
+    "application_to_dict",
+    "hardware_from_dict",
+    "hardware_to_dict",
+    "load_design",
+    "save_design",
+    "TextFormatError",
+    "parse_application",
+    "render_application",
+]

@@ -1,0 +1,350 @@
+"""Application editor: hierarchical dataflow graphs of functional blocks.
+
+§1.1: *"The application editor is used to build a graphical view or model of
+the application by connecting functional or behavioral blocks (hierarchical)
+in a data flow manner through user defined or COTS functional libraries."*
+
+The object graph here is what the Alter glue-code generator traverses:
+blocks own ports, arcs connect ports, composite blocks nest.  Every object
+carries a property dictionary (``get_property`` / ``set_property``), which is
+the surface Alter scripts read — mirroring the DoME model objects the real
+tool manipulated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .datatypes import DataType, REPLICATED, Striping
+
+__all__ = [
+    "ModelObject",
+    "Port",
+    "Block",
+    "FunctionBlock",
+    "CompositeBlock",
+    "Arc",
+    "ApplicationModel",
+    "FunctionInstance",
+    "ModelError",
+    "IN",
+    "OUT",
+]
+
+IN = "in"
+OUT = "out"
+
+
+class ModelError(ValueError):
+    """Raised for structurally invalid model operations."""
+
+
+class ModelObject:
+    """Base for every model element: a typed object with named properties."""
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str):
+        if not name or "/" in name:
+            raise ModelError(f"invalid object name {name!r}")
+        self.name = name
+        self.object_id = next(ModelObject._ids)
+        self._properties: Dict[str, Any] = {}
+
+    @property
+    def object_type(self) -> str:
+        return type(self).__name__
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._properties.get(key, default)
+
+    def set_property(self, key: str, value: Any) -> None:
+        self._properties[key] = value
+
+    def properties(self) -> Dict[str, Any]:
+        return dict(self._properties)
+
+    def __repr__(self):
+        return f"<{self.object_type} {self.name!r}>"
+
+
+class Port(ModelObject):
+    """A function's sending or receiving point for data-flow communication (§2)."""
+
+    def __init__(
+        self,
+        name: str,
+        direction: str,
+        datatype: DataType,
+        striping: Striping = REPLICATED,
+    ):
+        super().__init__(name)
+        if direction not in (IN, OUT):
+            raise ModelError(f"port direction must be 'in' or 'out', got {direction!r}")
+        self.direction = direction
+        self.datatype = datatype
+        self.striping = striping
+        self.block: Optional["Block"] = None
+
+    @property
+    def qualified_name(self) -> str:
+        prefix = self.block.name if self.block is not None else "?"
+        return f"{prefix}.{self.name}"
+
+
+class Block(ModelObject):
+    """Common base of primitive and composite blocks."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.ports: Dict[str, Port] = {}
+        self.parent: Optional["CompositeBlock"] = None
+
+    def add_port(self, port: Port) -> Port:
+        if port.name in self.ports:
+            raise ModelError(f"block {self.name!r} already has port {port.name!r}")
+        port.block = self
+        self.ports[port.name] = port
+        return port
+
+    def port(self, name: str) -> Port:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise ModelError(
+                f"block {self.name!r} has no port {name!r}; has {sorted(self.ports)}"
+            ) from None
+
+    def in_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.direction == IN]
+
+    def out_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.direction == OUT]
+
+    @property
+    def path(self) -> str:
+        """Hierarchical dotted path from the model root."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+
+class FunctionBlock(Block):
+    """A primitive behavioural block bound to a shelf kernel.
+
+    ``threads`` is the parallelisation degree: striped ports divide data
+    evenly among the threads, replicated ports give each thread a full copy
+    (§2).  ``params`` are passed to the kernel at execution time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kernel: str,
+        threads: int = 1,
+        params: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(name)
+        if threads < 1:
+            raise ModelError(f"threads must be >= 1, got {threads}")
+        self.kernel = kernel
+        self.threads = threads
+        self.params = dict(params or {})
+
+    def add_in(self, name: str, datatype: DataType, striping: Striping = REPLICATED) -> Port:
+        return self.add_port(Port(name, IN, datatype, striping))
+
+    def add_out(self, name: str, datatype: DataType, striping: Striping = REPLICATED) -> Port:
+        return self.add_port(Port(name, OUT, datatype, striping))
+
+
+class CompositeBlock(Block):
+    """A hierarchical block containing a sub-graph.
+
+    Exported ports are *aliases* onto ports of inner blocks, so flattening is
+    a pure renaming (no data movement is implied by the hierarchy itself).
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.children: Dict[str, Block] = {}
+        self.arcs: List["Arc"] = []
+        self._exports: Dict[str, Port] = {}  # exported port name -> inner port
+
+    def add_block(self, block: Block) -> Block:
+        if block.name in self.children:
+            raise ModelError(f"composite {self.name!r} already contains {block.name!r}")
+        block.parent = self
+        self.children[block.name] = block
+        return block
+
+    def connect(self, src: Port, dst: Port) -> "Arc":
+        arc = Arc(src, dst)
+        self._check_arc_endpoints(arc)
+        self.arcs.append(arc)
+        return arc
+
+    def _check_arc_endpoints(self, arc: "Arc") -> None:
+        for port, want in ((arc.src, OUT), (arc.dst, IN)):
+            if port.block is None or (
+                port.block is not self
+                and port.block.name not in self.children
+            ):
+                raise ModelError(
+                    f"arc endpoint {port.qualified_name} is not inside composite {self.name!r}"
+                )
+            if port.direction != want:
+                raise ModelError(
+                    f"arc endpoint {port.qualified_name} has direction "
+                    f"{port.direction!r}, expected {want!r}"
+                )
+
+    def export(self, inner: Port, as_name: Optional[str] = None) -> Port:
+        """Expose an inner block's port on this composite's boundary."""
+        name = as_name or inner.name
+        outer = Port(name, inner.direction, inner.datatype, inner.striping)
+        self.add_port(outer)
+        self._exports[name] = inner
+        return outer
+
+    def resolve_export(self, name: str) -> Port:
+        try:
+            return self._exports[name]
+        except KeyError:
+            raise ModelError(f"composite {self.name!r} exports no port {name!r}") from None
+
+
+class Arc(ModelObject):
+    """A directed data-flow connection between an OUT port and an IN port."""
+
+    def __init__(self, src: Port, dst: Port):
+        super().__init__(f"{src.qualified_name}->{dst.qualified_name}")
+        if src.datatype.dtype != dst.datatype.dtype:
+            raise ModelError(
+                f"arc {self.name}: element type mismatch "
+                f"{src.datatype.dtype} vs {dst.datatype.dtype}"
+            )
+        self.src = src
+        self.dst = dst
+
+
+class FunctionInstance:
+    """A flattened primitive function occurrence with its Designer-assigned ID.
+
+    §2: *"SAGE Designer orders all function instances and assigns them IDs
+    from 0..N-1. The SAGE runtime executes functions based on this ID, which
+    is the index of this descriptor into the function table."*
+    """
+
+    def __init__(self, function_id: int, path: str, block: FunctionBlock):
+        self.function_id = function_id
+        self.path = path
+        self.block = block
+
+    @property
+    def threads(self) -> int:
+        return self.block.threads
+
+    @property
+    def kernel(self) -> str:
+        return self.block.kernel
+
+    def __repr__(self):
+        return f"<FunctionInstance #{self.function_id} {self.path}>"
+
+
+class ApplicationModel(CompositeBlock):
+    """The top-level application graph (the Designer document root)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+
+    # -- flattening ---------------------------------------------------------
+    def function_instances(self) -> List[FunctionInstance]:
+        """All primitive blocks in deterministic (insertion, depth-first)
+        order, with IDs assigned 0..N-1."""
+        flat: List[Tuple[str, FunctionBlock]] = []
+
+        def walk(composite: CompositeBlock, prefix: str):
+            for child in composite.children.values():
+                path = f"{prefix}{child.name}"
+                if isinstance(child, CompositeBlock):
+                    walk(child, path + ".")
+                elif isinstance(child, FunctionBlock):
+                    flat.append((path, child))
+                else:  # pragma: no cover - no other block kinds exist
+                    raise ModelError(f"unknown block kind {type(child).__name__}")
+
+        walk(self, "")
+        return [FunctionInstance(i, path, blk) for i, (path, blk) in enumerate(flat)]
+
+    def instance_by_path(self, path: str) -> FunctionInstance:
+        for inst in self.function_instances():
+            if inst.path == path:
+                return inst
+        raise ModelError(f"no function instance at path {path!r}")
+
+    # -- arc flattening -------------------------------------------------------
+    def flattened_arcs(self) -> List[Tuple[Port, Port]]:
+        """All arcs with composite boundaries resolved to primitive ports."""
+        out: List[Tuple[Port, Port]] = []
+
+        def resolve(port: Port, outward: bool) -> Port:
+            block = port.block
+            while isinstance(block, CompositeBlock) and not isinstance(
+                block, ApplicationModel
+            ):
+                inner = block.resolve_export(port.name)
+                port = inner
+                block = port.block
+                # Re-resolve if the inner port is itself on a composite.
+                if not isinstance(block, CompositeBlock):
+                    break
+            return port
+
+        def walk(composite: CompositeBlock):
+            for arc in composite.arcs:
+                src = resolve(arc.src, outward=False)
+                dst = resolve(arc.dst, outward=True)
+                out.append((src, dst))
+            for child in composite.children.values():
+                if isinstance(child, CompositeBlock):
+                    walk(child)
+
+        walk(self)
+        return out
+
+    # -- dataflow ordering ------------------------------------------------------
+    def topological_order(self) -> List[FunctionInstance]:
+        """Function instances in dataflow order; raises on cycles."""
+        instances = self.function_instances()
+        by_block = {id(inst.block): inst for inst in instances}
+        succs: Dict[int, List[int]] = {inst.function_id: [] for inst in instances}
+        indeg: Dict[int, int] = {inst.function_id: 0 for inst in instances}
+        for src, dst in self.flattened_arcs():
+            s = by_block.get(id(src.block))
+            d = by_block.get(id(dst.block))
+            if s is None or d is None:
+                raise ModelError(
+                    f"arc {src.qualified_name}->{dst.qualified_name} references "
+                    "a block outside the model"
+                )
+            succs[s.function_id].append(d.function_id)
+            indeg[d.function_id] += 1
+        ready = [i for i in sorted(indeg) if indeg[i] == 0]
+        order: List[int] = []
+        while ready:
+            fid = ready.pop(0)
+            order.append(fid)
+            for nxt in succs[fid]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    # Keep deterministic ID ordering among newly-ready nodes.
+                    ready.append(nxt)
+                    ready.sort()
+        if len(order) != len(instances):
+            cyclic = sorted(set(indeg) - set(order))
+            raise ModelError(f"dataflow graph has a cycle involving function ids {cyclic}")
+        by_id = {inst.function_id: inst for inst in instances}
+        return [by_id[i] for i in order]

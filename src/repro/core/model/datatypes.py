@@ -1,0 +1,141 @@
+"""Data-type editor: element types, matrix shapes, and striping specifications.
+
+§1.1: *"The data type editor is used to define the various data types and
+striping and parallelization relationships for the different functions in the
+application editor."*  §2: *"A function port can be defined in the model to be
+of type replicated or striped."*
+
+We extend the paper's replicated/striped dichotomy with the stripe *axis*,
+which is what makes the corner turn expressible as a striping relationship:
+an arc whose source port stripes axis 0 (row blocks) and whose destination
+port stripes axis 1 (column blocks) requires an all-to-all redistribution —
+exactly the data movement the distributed corner-turn benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DataType", "Striping", "REPLICATED", "striped", "STANDARD_TYPES"]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A typed, shaped payload flowing along an arc.
+
+    Attributes
+    ----------
+    name:
+        Shelf name, e.g. ``"cfloat_matrix"``.
+    dtype:
+        Numpy element type string (``"complex64"``, ``"float32"``, ...).
+    shape:
+        Logical (un-striped) shape.  Both dimensions of the benchmark
+        matrices (256/512/1024 square) are expressed here.
+    """
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    def __post_init__(self):
+        np.dtype(self.dtype)  # raises on bad type names
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"shape dimensions must be positive, got {self.shape}")
+
+    @property
+    def elem_bytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+    @property
+    def total_elems(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def total_bytes(self) -> int:
+        """Total logical buffer size *before striding* (§2)."""
+        return self.total_elems * self.elem_bytes
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "DataType":
+        return DataType(self.name, self.dtype, tuple(shape))
+
+    def empty(self) -> np.ndarray:
+        return np.empty(self.shape, dtype=self.dtype)
+
+
+@dataclass(frozen=True)
+class Striping:
+    """How a port's data is laid out across the threads of its function.
+
+    ``kind`` is one of:
+
+    * ``"replicated"`` — every thread holds the full data (§2's replicated
+      port type);
+    * ``"striped"`` — contiguous blocks divided evenly among the threads
+      along ``axis`` (§2's striped port type);
+    * ``"cyclic"`` — (block-)cyclic round-robin along ``axis`` with blocks
+      of ``block`` elements: one of the "complex data distribution
+      patterns" the port striping conventions support.
+    """
+
+    kind: str
+    axis: int = 0
+    block: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("replicated", "striped", "cyclic"):
+            raise ValueError(
+                f"striping kind must be replicated|striped|cyclic, got {self.kind!r}"
+            )
+        if self.axis < 0:
+            raise ValueError("stripe axis must be non-negative")
+        if self.block < 1:
+            raise ValueError("cyclic block must be >= 1")
+
+    @property
+    def is_striped(self) -> bool:
+        """True for any distribution that divides the data among threads."""
+        return self.kind in ("striped", "cyclic")
+
+    def describe(self) -> str:
+        if self.kind == "replicated":
+            return "replicated"
+        if self.kind == "striped":
+            return f"striped(axis={self.axis})"
+        return f"cyclic(axis={self.axis}, block={self.block})"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "axis": self.axis, "block": self.block}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Striping":
+        return Striping(kind=d["kind"], axis=d.get("axis", 0), block=d.get("block", 1))
+
+
+#: Replicated striping singleton-style constant.
+REPLICATED = Striping("replicated")
+
+
+def striped(axis: int = 0) -> Striping:
+    """Striped (contiguous-block) layout dividing data evenly along ``axis``."""
+    return Striping("striped", axis)
+
+
+def cyclic(axis: int = 0, block: int = 1) -> Striping:
+    """(Block-)cyclic layout along ``axis``."""
+    return Striping("cyclic", axis, block)
+
+
+#: The default data-type shelf contents.
+STANDARD_TYPES = {
+    "cfloat_matrix_256": DataType("cfloat_matrix_256", "complex64", (256, 256)),
+    "cfloat_matrix_512": DataType("cfloat_matrix_512", "complex64", (512, 512)),
+    "cfloat_matrix_1024": DataType("cfloat_matrix_1024", "complex64", (1024, 1024)),
+    "float_vector_1024": DataType("float_vector_1024", "float32", (1024,)),
+}

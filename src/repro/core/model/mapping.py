@@ -1,0 +1,115 @@
+"""Mapping of application function threads onto processors.
+
+The mapping is the product AToT optimises (§1.1) and the glue-code generator
+bakes into the generated source.  A mapping assigns every ``(function_id,
+thread)`` pair a processor index in the target hardware model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .application import ApplicationModel, FunctionInstance, ModelError
+
+__all__ = ["Mapping", "round_robin_mapping", "single_node_mapping", "block_mapping"]
+
+ThreadKey = Tuple[int, int]  # (function_id, thread_index)
+
+
+class Mapping:
+    """An assignment of function threads to processors."""
+
+    def __init__(self, assignments: Optional[Dict[ThreadKey, int]] = None):
+        self._assign: Dict[ThreadKey, int] = dict(assignments or {})
+
+    def assign(self, function_id: int, thread: int, processor: int) -> None:
+        if processor < 0:
+            raise ModelError("processor index must be non-negative")
+        self._assign[(function_id, thread)] = processor
+
+    def processor_of(self, function_id: int, thread: int) -> int:
+        try:
+            return self._assign[(function_id, thread)]
+        except KeyError:
+            raise ModelError(
+                f"no mapping for function {function_id} thread {thread}"
+            ) from None
+
+    def items(self) -> List[Tuple[ThreadKey, int]]:
+        return sorted(self._assign.items())
+
+    def processors_used(self) -> List[int]:
+        return sorted(set(self._assign.values()))
+
+    def threads_on(self, processor: int) -> List[ThreadKey]:
+        return sorted(k for k, p in self._assign.items() if p == processor)
+
+    def copy(self) -> "Mapping":
+        return Mapping(dict(self._assign))
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-able form used by the glue code: "fid:thread" -> processor."""
+        return {f"{fid}:{t}": p for (fid, t), p in sorted(self._assign.items())}
+
+    @staticmethod
+    def from_dict(d: Dict[str, int]) -> "Mapping":
+        out = Mapping()
+        for key, proc in d.items():
+            fid, t = key.split(":")
+            out.assign(int(fid), int(t), proc)
+        return out
+
+    def validate(self, app: ApplicationModel, processor_count: int) -> None:
+        """Every thread of every function instance mapped, within range."""
+        for inst in app.function_instances():
+            for t in range(inst.threads):
+                proc = self.processor_of(inst.function_id, t)
+                if proc >= processor_count:
+                    raise ModelError(
+                        f"function {inst.path} thread {t} mapped to processor "
+                        f"{proc}, but hardware has only {processor_count}"
+                    )
+
+    def __eq__(self, other):
+        return isinstance(other, Mapping) and self._assign == other._assign
+
+    def __len__(self):
+        return len(self._assign)
+
+
+def round_robin_mapping(app: ApplicationModel, processor_count: int) -> Mapping:
+    """Each function's threads dealt across processors starting at 0.
+
+    Thread *t* of every function lands on processor ``t % P`` — the natural
+    data-parallel layout where thread *t* of a producer is co-located with
+    thread *t* of its consumer (minimising redistribution traffic).
+    """
+    if processor_count <= 0:
+        raise ModelError("processor_count must be positive")
+    mapping = Mapping()
+    for inst in app.function_instances():
+        for t in range(inst.threads):
+            mapping.assign(inst.function_id, t, t % processor_count)
+    return mapping
+
+
+def single_node_mapping(app: ApplicationModel, processor: int = 0) -> Mapping:
+    """Everything on one processor (the sequential-baseline mapping)."""
+    mapping = Mapping()
+    for inst in app.function_instances():
+        for t in range(inst.threads):
+            mapping.assign(inst.function_id, t, processor)
+    return mapping
+
+
+def block_mapping(app: ApplicationModel, processor_count: int) -> Mapping:
+    """Threads packed onto consecutive processors function by function."""
+    if processor_count <= 0:
+        raise ModelError("processor_count must be positive")
+    mapping = Mapping()
+    next_proc = 0
+    for inst in app.function_instances():
+        for t in range(inst.threads):
+            mapping.assign(inst.function_id, t, next_proc % processor_count)
+            next_proc += 1
+    return mapping

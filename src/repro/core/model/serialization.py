@@ -1,0 +1,285 @@
+"""Model persistence: the DoME repository, as JSON documents.
+
+The real SAGE stored its Designer models in a DoME/Smalltalk repository;
+here, applications, hardware models, and mappings serialise to plain JSON so
+designs can be versioned, diffed, and reloaded.  Round-tripping preserves
+everything the glue-code generator reads: structure, data types, striping,
+parameters, properties, and the hierarchical composition.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from ...machine.interconnect import FabricSpec, LinkSpec
+from ...machine.node import CpuSpec
+from .application import (
+    ApplicationModel,
+    Block,
+    CompositeBlock,
+    FunctionBlock,
+    ModelError,
+    Port,
+)
+from .datatypes import DataType, Striping
+from .hardware import BoardElement, HardwareModel, ProcessorElement
+from .mapping import Mapping
+
+__all__ = [
+    "application_to_dict",
+    "application_from_dict",
+    "hardware_to_dict",
+    "hardware_from_dict",
+    "save_design",
+    "load_design",
+    "FORMAT_VERSION",
+]
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# application models
+# ---------------------------------------------------------------------------
+
+def _port_to_dict(port: Port) -> dict:
+    return {
+        "name": port.name,
+        "direction": port.direction,
+        "datatype": {
+            "name": port.datatype.name,
+            "dtype": port.datatype.dtype,
+            "shape": list(port.datatype.shape),
+        },
+        "striping": port.striping.to_dict(),
+    }
+
+
+def _port_from_dict(d: dict) -> Port:
+    dt = d["datatype"]
+    return Port(
+        d["name"],
+        d["direction"],
+        DataType(dt["name"], dt["dtype"], tuple(dt["shape"])),
+        Striping.from_dict(d["striping"]),
+    )
+
+
+def _block_to_dict(block: Block) -> dict:
+    if isinstance(block, FunctionBlock):
+        out = {
+            "kind": "function",
+            "name": block.name,
+            "kernel": block.kernel,
+            "threads": block.threads,
+            "params": dict(block.params),
+            "ports": [_port_to_dict(p) for p in block.ports.values()],
+        }
+    elif isinstance(block, CompositeBlock):
+        out = {
+            "kind": "composite",
+            "name": block.name,
+            "children": [_block_to_dict(c) for c in block.children.values()],
+            "arcs": [_arc_ref(a.src, a.dst) for a in block.arcs],
+            "exports": [
+                {
+                    "as": name,
+                    "inner_block": inner.block.name,
+                    "inner_port": inner.name,
+                }
+                for name, inner in block._exports.items()
+            ],
+        }
+    else:  # pragma: no cover - only two block kinds exist
+        raise ModelError(f"cannot serialise block kind {type(block).__name__}")
+    props = block.properties()
+    if props:
+        out["properties"] = props
+    return out
+
+
+def _arc_ref(src: Port, dst: Port) -> dict:
+    return {
+        "src_block": src.block.name,
+        "src_port": src.name,
+        "dst_block": dst.block.name,
+        "dst_port": dst.name,
+    }
+
+
+def _block_from_dict(d: dict) -> Block:
+    if d["kind"] == "function":
+        block = FunctionBlock(
+            d["name"], kernel=d["kernel"], threads=d["threads"], params=d["params"]
+        )
+        for pd in d["ports"]:
+            block.add_port(_port_from_dict(pd))
+    elif d["kind"] == "composite":
+        block = CompositeBlock(d["name"])
+        _fill_composite(block, d)
+    else:
+        raise ModelError(f"unknown block kind {d.get('kind')!r}")
+    for key, value in d.get("properties", {}).items():
+        block.set_property(key, value)
+    return block
+
+
+def _fill_composite(composite: CompositeBlock, d: dict) -> None:
+    for cd in d.get("children", []):
+        composite.add_block(_block_from_dict(cd))
+
+    def port_of(block_name: str, port_name: str) -> Port:
+        try:
+            child = composite.children[block_name]
+        except KeyError:
+            raise ModelError(
+                f"arc references unknown block {block_name!r} in "
+                f"composite {composite.name!r}"
+            ) from None
+        return child.port(port_name)
+
+    # Exports first (arcs at the parent level may target exported ports).
+    for ed in d.get("exports", []):
+        inner = port_of(ed["inner_block"], ed["inner_port"])
+        composite.export(inner, as_name=ed["as"])
+    for ad in d.get("arcs", []):
+        composite.connect(
+            port_of(ad["src_block"], ad["src_port"]),
+            port_of(ad["dst_block"], ad["dst_port"]),
+        )
+
+
+def application_to_dict(app: ApplicationModel) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "application",
+        "model": _block_to_dict(app) | {"kind": "application"},
+    }
+
+
+def application_from_dict(doc: dict) -> ApplicationModel:
+    _check_doc(doc, "application")
+    d = doc["model"]
+    app = ApplicationModel(d["name"])
+    _fill_composite(app, d)
+    for key, value in d.get("properties", {}).items():
+        app.set_property(key, value)
+    return app
+
+
+# ---------------------------------------------------------------------------
+# hardware models
+# ---------------------------------------------------------------------------
+
+def _cpu_to_dict(cpu: CpuSpec) -> dict:
+    return {
+        "name": cpu.name,
+        "clock_mhz": cpu.clock_mhz,
+        "mflops": cpu.mflops,
+        "copy_bw": cpu.copy_bw,
+        "call_overhead": cpu.call_overhead,
+        "memory_bytes": cpu.memory_bytes,
+    }
+
+
+def _link_to_dict(link: LinkSpec) -> dict:
+    return {
+        "latency": link.latency,
+        "bandwidth": link.bandwidth,
+        "sw_overhead": link.sw_overhead,
+    }
+
+
+def hardware_to_dict(hw: HardwareModel) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "hardware",
+        "name": hw.name,
+        "fabric": {
+            "name": hw.fabric.name,
+            "inter_board": _link_to_dict(hw.fabric.inter_board),
+            "intra_board": _link_to_dict(hw.fabric.intra_board),
+            "crossbar": hw.fabric.crossbar,
+            "shared_channels": hw.fabric.shared_channels,
+        },
+        "boards": [
+            {
+                "name": board.name,
+                "processors": [
+                    {"name": p.name, "cpu": _cpu_to_dict(p.cpu)}
+                    for p in board.processors
+                ],
+            }
+            for board in hw.boards
+        ],
+    }
+
+
+def hardware_from_dict(doc: dict) -> HardwareModel:
+    _check_doc(doc, "hardware")
+    f = doc["fabric"]
+    fabric = FabricSpec(
+        name=f["name"],
+        inter_board=LinkSpec(**f["inter_board"]),
+        intra_board=LinkSpec(**f["intra_board"]),
+        crossbar=f["crossbar"],
+        shared_channels=f["shared_channels"],
+    )
+    hw = HardwareModel(doc["name"], fabric)
+    for bd in doc["boards"]:
+        board = hw.add_board(BoardElement(bd["name"]))
+        for pd in bd["processors"]:
+            board.add_processor(ProcessorElement(pd["name"], CpuSpec(**pd["cpu"])))
+    return hw
+
+
+# ---------------------------------------------------------------------------
+# whole designs (application + optional hardware + optional mapping)
+# ---------------------------------------------------------------------------
+
+def save_design(
+    fp_or_path: Union[str, IO],
+    app: ApplicationModel,
+    hardware: HardwareModel = None,
+    mapping: Mapping = None,
+) -> None:
+    """Write a design document (application [+ hardware] [+ mapping]) as JSON."""
+    doc: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "kind": "design",
+        "application": application_to_dict(app),
+    }
+    if hardware is not None:
+        doc["hardware"] = hardware_to_dict(hardware)
+    if mapping is not None:
+        doc["mapping"] = mapping.to_dict()
+    if isinstance(fp_or_path, str):
+        with open(fp_or_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+    else:
+        json.dump(doc, fp_or_path, indent=2, sort_keys=True)
+
+
+def load_design(fp_or_path: Union[str, IO]):
+    """Load a design document; returns (application, hardware|None, mapping|None)."""
+    if isinstance(fp_or_path, str):
+        with open(fp_or_path) as fh:
+            doc = json.load(fh)
+    else:
+        doc = json.load(fp_or_path)
+    _check_doc(doc, "design")
+    app = application_from_dict(doc["application"])
+    hardware = hardware_from_dict(doc["hardware"]) if "hardware" in doc else None
+    mapping = Mapping.from_dict(doc["mapping"]) if "mapping" in doc else None
+    return app, hardware, mapping
+
+
+def _check_doc(doc: dict, kind: str) -> None:
+    if not isinstance(doc, dict) or doc.get("kind") != kind:
+        raise ModelError(f"not a {kind} document: kind={doc.get('kind')!r}")
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )

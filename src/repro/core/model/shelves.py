@@ -1,0 +1,99 @@
+"""Software and hardware shelves: the Designer's reuse libraries.
+
+§1.1: *"All primitive and hierarchical blocks are stored on software and
+hardware shelves for later reuse. Items on the hardware shelf include
+workstations, other embedded computers, CPU chips, memory, ... The
+application and system designs can be refined using the software shelf items
+such as other COTS functional or user defined blocks."*
+
+A shelf is a named store of *factories* (so taking an item always yields a
+fresh block — shelf items are templates, not shared instances).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ...kernels.signal import KERNEL_REGISTRY
+from ...machine.platforms import PLATFORMS
+from .application import FunctionBlock, ModelError
+
+__all__ = ["Shelf", "software_shelf", "hardware_shelf"]
+
+
+class Shelf:
+    """A categorised library of reusable model components."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._items: Dict[str, Callable[..., Any]] = {}
+        self._categories: Dict[str, str] = {}
+
+    def put(self, item_name: str, factory: Callable[..., Any], category: str = "misc") -> None:
+        if item_name in self._items:
+            raise ModelError(f"shelf {self.name!r} already has item {item_name!r}")
+        self._items[item_name] = factory
+        self._categories[item_name] = category
+
+    def take(self, item_name: str, *args, **kwargs) -> Any:
+        """Instantiate a fresh copy of a shelf item."""
+        try:
+            factory = self._items[item_name]
+        except KeyError:
+            raise ModelError(
+                f"shelf {self.name!r} has no item {item_name!r}; "
+                f"available: {sorted(self._items)}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def items(self, category: Optional[str] = None) -> List[str]:
+        if category is None:
+            return sorted(self._items)
+        return sorted(k for k, c in self._categories.items() if c == category)
+
+    def category_of(self, item_name: str) -> str:
+        return self._categories[item_name]
+
+    def __contains__(self, item_name: str) -> bool:
+        return item_name in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def software_shelf() -> Shelf:
+    """The COTS functional library shelf (ISSPL-like kernels + structural blocks)."""
+    shelf = Shelf("software")
+
+    def kernel_block_factory(kernel_name: str):
+        def make(name: str, threads: int = 1, **params) -> FunctionBlock:
+            return FunctionBlock(name, kernel=kernel_name, threads=threads, params=params)
+
+        return make
+
+    for kernel_name in KERNEL_REGISTRY:
+        shelf.put(kernel_name, kernel_block_factory(kernel_name), category="isspl")
+
+    # Structural blocks the benchmark applications use.
+    for structural in ("matrix_source", "matrix_sink", "fft_rows", "fft_cols",
+                       "block_transpose", "identity"):
+        shelf.put(structural, kernel_block_factory(structural), category="structural")
+    # Radar chain kernels (run-time bindings in repro.core.runtime.kernels).
+    # Some are already on the shelf via KERNEL_REGISTRY; add the rest.
+    for radar in ("pulse_compress", "doppler", "cfar", "window_rows"):
+        if radar not in shelf:
+            shelf.put(radar, kernel_block_factory(radar), category="radar")
+    return shelf
+
+
+def hardware_shelf() -> Shelf:
+    """The hardware shelf: vendor platform presets (CPU boards + fabrics)."""
+    from .hardware import from_platform
+
+    shelf = Shelf("hardware")
+    for pname, pfactory in PLATFORMS.items():
+        def make(nodes: int = 8, _pf=pfactory, _pn=pname):
+            return from_platform(_pf(), nodes, name=_pn)
+
+        shelf.put(pname, make, category="platform")
+    return shelf

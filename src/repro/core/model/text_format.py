@@ -1,0 +1,249 @@
+"""A textual Designer format: declarative application descriptions.
+
+The real SAGE captured applications graphically; this module provides the
+equivalent flat-text capture, so designs can be authored in an editor and
+checked into version control:
+
+.. code-block:: text
+
+    application fft2d
+    datatype cm complex64 256x256
+
+    block src kernel=matrix_source threads=4
+      out out cm striped(0)
+
+    block rowfft kernel=fft_rows threads=4
+      in in cm striped(0)
+      out out cm striped(0)
+
+    block sink kernel=matrix_sink threads=4
+      in in cm striped(1)
+
+    connect src.out -> rowfft.in
+    connect rowfft.out -> sink.in
+
+Grammar (line-oriented; ``#`` comments; indentation free):
+
+* ``application NAME``
+* ``datatype NAME DTYPE DIMxDIM[x...]``
+* ``block NAME kernel=K [threads=N] [param.key=value ...]``
+* ``in|out PORTNAME TYPENAME STRIPING`` (belongs to the preceding block)
+* ``connect BLOCK.PORT -> BLOCK.PORT``
+
+Striping: ``replicated`` | ``striped(axis)`` | ``cyclic(axis[, block])``.
+``render_application`` emits this format back; parse/render round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from .application import ApplicationModel, FunctionBlock, ModelError
+from .datatypes import DataType, REPLICATED, Striping
+
+__all__ = ["parse_application", "render_application", "TextFormatError"]
+
+
+class TextFormatError(ModelError):
+    """A syntax or semantic error in the textual format, with line number."""
+
+    def __init__(self, message: str, line_no: int, line: str = ""):
+        super().__init__(f"line {line_no}: {message}" + (f"  [{line}]" if line else ""))
+        self.line_no = line_no
+
+
+_STRIPING_RE = re.compile(
+    r"^(replicated|striped\((\d+)\)|cyclic\((\d+)(?:\s*,\s*(\d+))?\))$"
+)
+
+
+def _parse_striping(token: str, line_no: int) -> Striping:
+    m = _STRIPING_RE.match(token)
+    if not m:
+        raise TextFormatError(
+            f"bad striping {token!r} (replicated | striped(a) | cyclic(a[, b]))",
+            line_no,
+        )
+    if token == "replicated":
+        return REPLICATED
+    if token.startswith("striped"):
+        return Striping("striped", int(m.group(2)))
+    block = int(m.group(4)) if m.group(4) else 1
+    return Striping("cyclic", int(m.group(3)), block)
+
+
+def _parse_value(raw: str) -> Any:
+    for conv in (int, float):
+        try:
+            return conv(raw)
+        except ValueError:
+            pass
+    if raw in ("true", "false"):
+        return raw == "true"
+    return raw
+
+
+def parse_application(text: str) -> ApplicationModel:
+    """Parse the textual format into an application model."""
+    app: Optional[ApplicationModel] = None
+    datatypes: Dict[str, DataType] = {}
+    current_block: Optional[FunctionBlock] = None
+    pending_connects: List[tuple] = []
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        keyword = words[0]
+
+        if keyword == "application":
+            if app is not None:
+                raise TextFormatError("duplicate 'application' line", line_no, line)
+            if len(words) != 2:
+                raise TextFormatError("usage: application NAME", line_no, line)
+            app = ApplicationModel(words[1])
+        elif keyword == "datatype":
+            if len(words) != 4:
+                raise TextFormatError("usage: datatype NAME DTYPE DIMxDIM", line_no, line)
+            name, dtype, dims = words[1], words[2], words[3]
+            try:
+                shape = tuple(int(d) for d in dims.lower().split("x"))
+                datatypes[name] = DataType(name, dtype, shape)
+            except (ValueError, TypeError) as exc:
+                raise TextFormatError(f"bad datatype: {exc}", line_no, line) from exc
+        elif keyword == "block":
+            if app is None:
+                raise TextFormatError("'block' before 'application'", line_no, line)
+            if len(words) < 3:
+                raise TextFormatError(
+                    "usage: block NAME kernel=K [threads=N] [param.k=v]", line_no, line
+                )
+            name = words[1]
+            kernel = None
+            threads = 1
+            params: Dict[str, Any] = {}
+            for token in words[2:]:
+                if "=" not in token:
+                    raise TextFormatError(f"bad attribute {token!r}", line_no, line)
+                key, raw = token.split("=", 1)
+                if key == "kernel":
+                    kernel = raw
+                elif key == "threads":
+                    threads = int(raw)
+                elif key.startswith("param."):
+                    params[key[len("param."):]] = _parse_value(raw)
+                else:
+                    raise TextFormatError(f"unknown attribute {key!r}", line_no, line)
+            if kernel is None:
+                raise TextFormatError("block needs kernel=...", line_no, line)
+            current_block = app.add_block(
+                FunctionBlock(name, kernel=kernel, threads=threads, params=params)
+            )
+        elif keyword in ("in", "out"):
+            if current_block is None:
+                raise TextFormatError(f"{keyword!r} port before any block", line_no, line)
+            if len(words) < 4:
+                raise TextFormatError(
+                    f"usage: {keyword} PORT TYPENAME STRIPING", line_no, line
+                )
+            # the striping form may contain spaces, e.g. "cyclic(0, 4)"
+            port_name, type_name = words[1], words[2]
+            striping_token = "".join(words[3:])
+            if type_name not in datatypes:
+                raise TextFormatError(f"unknown datatype {type_name!r}", line_no, line)
+            striping = _parse_striping(striping_token, line_no)
+            if keyword == "in":
+                current_block.add_in(port_name, datatypes[type_name], striping)
+            else:
+                current_block.add_out(port_name, datatypes[type_name], striping)
+        elif keyword == "connect":
+            if len(words) != 4 or words[2] != "->":
+                raise TextFormatError("usage: connect A.P -> B.Q", line_no, line)
+            pending_connects.append((words[1], words[3], line_no))
+        else:
+            raise TextFormatError(f"unknown keyword {keyword!r}", line_no, line)
+
+    if app is None:
+        raise TextFormatError("no 'application' line", 0)
+
+    for src_ref, dst_ref, line_no in pending_connects:
+        app.connect(
+            _resolve_port(app, src_ref, line_no),
+            _resolve_port(app, dst_ref, line_no),
+        )
+    return app
+
+
+def _resolve_port(app: ApplicationModel, ref: str, line_no: int):
+    if "." not in ref:
+        raise TextFormatError(f"port reference {ref!r} needs BLOCK.PORT", line_no)
+    block_name, port_name = ref.split(".", 1)
+    block = app.children.get(block_name)
+    if block is None:
+        raise TextFormatError(f"unknown block {block_name!r}", line_no)
+    try:
+        return block.port(port_name)
+    except ModelError as exc:
+        raise TextFormatError(str(exc), line_no) from exc
+
+
+def _striping_text(s: Striping) -> str:
+    if s.kind == "replicated":
+        return "replicated"
+    if s.kind == "striped":
+        return f"striped({s.axis})"
+    if s.block != 1:
+        return f"cyclic({s.axis}, {s.block})"
+    return f"cyclic({s.axis})"
+
+
+def render_application(app: ApplicationModel) -> str:
+    """Emit the textual format for a (flat) application model.
+
+    Hierarchical models are flattened first (composites become their dotted
+    primitive paths is NOT supported here — render only flat models; use the
+    JSON design documents for hierarchy).
+    """
+    from .application import CompositeBlock
+
+    for child in app.children.values():
+        if isinstance(child, CompositeBlock):
+            raise ModelError(
+                "render_application supports flat models only; "
+                "serialise hierarchical designs as JSON instead"
+            )
+    lines = [f"application {app.name}", ""]
+    # datatypes: unique by (name,dtype,shape)
+    seen: Dict[str, DataType] = {}
+    for child in app.children.values():
+        for port in child.ports.values():
+            dt = port.datatype
+            if dt.name in seen and seen[dt.name] != dt:
+                raise ModelError(f"conflicting datatypes named {dt.name!r}")
+            seen[dt.name] = dt
+    for dt in seen.values():
+        dims = "x".join(str(d) for d in dt.shape)
+        lines.append(f"datatype {dt.name} {dt.dtype} {dims}")
+    lines.append("")
+    for child in app.children.values():
+        attrs = [f"kernel={child.kernel}"]
+        if child.threads != 1:
+            attrs.append(f"threads={child.threads}")
+        for key, value in sorted(child.params.items()):
+            rendered = str(value).lower() if isinstance(value, bool) else value
+            attrs.append(f"param.{key}={rendered}")
+        lines.append(f"block {child.name} {' '.join(attrs)}")
+        for port in child.ports.values():
+            lines.append(
+                f"  {port.direction} {port.name} {port.datatype.name} "
+                f"{_striping_text(port.striping)}"
+            )
+        lines.append("")
+    for arc in app.arcs:
+        lines.append(
+            f"connect {arc.src.block.name}.{arc.src.name} -> "
+            f"{arc.dst.block.name}.{arc.dst.name}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,155 @@
+"""Whole-model validation: the checks the Designer runs before codegen.
+
+Catches the classes of wiring errors the paper credits SAGE with preventing
+("creation of executable systems ... with fewer errors", §4): dangling ports,
+shape-incompatible arcs, stripe axes outside the data rank, thread counts
+that do not divide striped extents, and cyclic dataflow.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .application import ApplicationModel, FunctionBlock, ModelError, Port
+
+__all__ = ["validate_application", "ValidationIssue"]
+
+
+class ValidationIssue:
+    """One problem found during validation."""
+
+    def __init__(self, severity: str, where: str, message: str):
+        if severity not in ("error", "warning"):
+            raise ValueError(f"bad severity {severity!r}")
+        self.severity = severity
+        self.where = where
+        self.message = message
+
+    def __repr__(self):
+        return f"[{self.severity}] {self.where}: {self.message}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ValidationIssue)
+            and (self.severity, self.where, self.message)
+            == (other.severity, other.where, other.message)
+        )
+
+
+def validate_application(app: ApplicationModel, strict: bool = True) -> List[ValidationIssue]:
+    """Validate the application graph; raises on errors when ``strict``.
+
+    Returns the full issue list (errors + warnings) otherwise.
+    """
+    issues: List[ValidationIssue] = []
+    arcs = app.flattened_arcs()
+    connected = set()
+    for src, dst in arcs:
+        connected.add(id(src))
+        connected.add(id(dst))
+        _check_arc(src, dst, issues)
+
+    instances = app.function_instances()
+    if not instances:
+        issues.append(ValidationIssue("error", app.name, "application has no function blocks"))
+
+    for inst in instances:
+        _check_block(inst.path, inst.block, connected, issues)
+
+    # Multiple writers to one IN port are a wiring error.
+    dst_seen = {}
+    for src, dst in arcs:
+        if id(dst) in dst_seen:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    dst.qualified_name,
+                    "input port has multiple incoming arcs",
+                )
+            )
+        dst_seen[id(dst)] = src
+
+    try:
+        app.topological_order()
+    except ModelError as exc:
+        issues.append(ValidationIssue("error", app.name, str(exc)))
+
+    if strict:
+        errors = [i for i in issues if i.severity == "error"]
+        if errors:
+            raise ModelError(
+                "model validation failed:\n" + "\n".join(map(repr, errors))
+            )
+    return issues
+
+
+def _check_arc(src: Port, dst: Port, issues: List[ValidationIssue]) -> None:
+    where = f"{src.qualified_name}->{dst.qualified_name}"
+    if src.datatype.dtype != dst.datatype.dtype:
+        issues.append(
+            ValidationIssue("error", where, "element dtype mismatch")
+        )
+    if src.datatype.total_elems != dst.datatype.total_elems:
+        issues.append(
+            ValidationIssue(
+                "error",
+                where,
+                f"logical sizes differ: {src.datatype.shape} vs {dst.datatype.shape}",
+            )
+        )
+    elif src.datatype.shape != dst.datatype.shape:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                where,
+                f"shapes differ but sizes agree: {src.datatype.shape} vs "
+                f"{dst.datatype.shape} (treated as a reshape)",
+            )
+        )
+
+
+def _check_block(path: str, block: FunctionBlock, connected: set, issues: List[ValidationIssue]) -> None:
+    if not block.ports:
+        issues.append(ValidationIssue("warning", path, "block has no ports"))
+    for port in block.ports.values():
+        if id(port) not in connected:
+            issues.append(
+                ValidationIssue(
+                    "error" if port.direction == "in" else "warning",
+                    port.qualified_name,
+                    "port is not connected",
+                )
+            )
+        st = port.striping
+        rank = len(port.datatype.shape)
+        if st.is_striped:
+            if st.axis >= rank:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        port.qualified_name,
+                        f"stripe axis {st.axis} out of range for shape "
+                        f"{port.datatype.shape}",
+                    )
+                )
+            else:
+                extent = port.datatype.shape[st.axis]
+                if st.kind == "striped" and block.threads > extent:
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            port.qualified_name,
+                            f"{block.threads} threads exceed stripe extent {extent}",
+                        )
+                    )
+                elif st.kind == "cyclic":
+                    blocks = -(-extent // st.block)  # ceil
+                    if block.threads > blocks:
+                        issues.append(
+                            ValidationIssue(
+                                "warning",
+                                port.qualified_name,
+                                f"{block.threads} threads but only {blocks} cyclic "
+                                f"blocks; some threads own no data",
+                            )
+                        )

@@ -1,0 +1,45 @@
+"""SAGE run-time kernel: sequencing, data striping, buffer management, probes."""
+
+from .config import DEFAULT_CONFIG, OPTIMIZED_CONFIG, RuntimeConfig
+from .phantom import PhantomArray, materialize
+from .striping import (
+    AxisIndices,
+    PlannedMessage,
+    intersect,
+    message_plan,
+    region_elems,
+    region_indexer,
+    region_shape,
+    thread_region,
+)
+from .buffers import BufferError, RuntimeBuffer
+from .kernels import KernelBinding, KernelError, ThreadContext, default_bindings
+from .probes import ProbeEvent, Trace
+from .kernel import RunResult, RuntimeError_, SageRuntime
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "OPTIMIZED_CONFIG",
+    "RuntimeConfig",
+    "PhantomArray",
+    "materialize",
+    "AxisIndices",
+    "PlannedMessage",
+    "intersect",
+    "message_plan",
+    "region_elems",
+    "region_indexer",
+    "region_shape",
+    "thread_region",
+    "BufferError",
+    "RuntimeBuffer",
+    "KernelBinding",
+    "KernelError",
+    "ThreadContext",
+    "default_bindings",
+    "ProbeEvent",
+    "Trace",
+    "RunResult",
+    "RuntimeError_",
+    "SageRuntime",
+]

@@ -1,0 +1,166 @@
+"""Logical and physical buffer management.
+
+§2: *"Located and shared between each port on the sender and receiver
+functions is the SAGE notion of a logical buffer ... It contains the
+striding information, total buffer size (before striding), thread
+information (number and type). The runtime uses the logical buffer and the
+striding information to create physical buffers for message transfer."*
+
+:class:`RuntimeBuffer` is the live counterpart of one glue ``LOGICAL_BUFFERS``
+entry: it owns the per-iteration backing storage, the striping regions of
+every endpoint thread, and the message plan that redistributes data between
+the sender's layout and the receiver's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..model.datatypes import Striping
+from .phantom import PhantomArray
+from .striping import (
+    PlannedMessage,
+    Region,
+    message_plan,
+    region_elems,
+    region_indexer,
+    region_shape,
+    thread_region,
+)
+
+__all__ = ["RuntimeBuffer", "BufferError"]
+
+
+class BufferError(RuntimeError):
+    """Raised for misuse of the buffer manager."""
+
+
+class RuntimeBuffer:
+    """One logical buffer instance (an arc's data channel)."""
+
+    def __init__(self, spec: dict, execute_data: bool = True):
+        self.spec = dict(spec)
+        self.buffer_id: int = spec["id"]
+        self.name: str = spec["name"]
+        self.shape: Tuple[int, ...] = tuple(spec["shape"])
+        self.dtype: str = spec["dtype"]
+        self.elem_bytes: int = spec["elem_bytes"]
+        self.total_bytes: int = spec["total_bytes"]
+        self.src_function: int = spec["src_function"]
+        self.dst_function: int = spec["dst_function"]
+        self.src_port: str = spec["src_port"]
+        self.dst_port: str = spec["dst_port"]
+        self.src_striping = Striping.from_dict(spec["src_striping"])
+        self.dst_striping = Striping.from_dict(spec["dst_striping"])
+        self.src_threads: int = spec["src_threads"]
+        self.dst_threads: int = spec["dst_threads"]
+        self.execute_data = execute_data
+
+        expected = 1
+        for d in self.shape:
+            expected *= d
+        if expected * self.elem_bytes != self.total_bytes:
+            raise BufferError(
+                f"buffer {self.name!r}: total_bytes {self.total_bytes} inconsistent "
+                f"with shape {self.shape} x {self.elem_bytes}"
+            )
+
+        self.plan: List[PlannedMessage] = message_plan(
+            self.shape,
+            self.elem_bytes,
+            self.src_striping,
+            self.src_threads,
+            self.dst_striping,
+            self.dst_threads,
+        )
+        self._storage: Dict[int, Any] = {}
+        self._pending_reads: Dict[int, int] = {}
+
+    # -- regions -----------------------------------------------------------
+    def src_region(self, thread: int) -> Region:
+        return thread_region(self.shape, self.src_striping, self.src_threads, thread)
+
+    def dst_region(self, thread: int) -> Region:
+        return thread_region(self.shape, self.dst_striping, self.dst_threads, thread)
+
+    def src_region_bytes(self, thread: int) -> int:
+        return region_elems(self.src_region(thread)) * self.elem_bytes
+
+    def dst_region_bytes(self, thread: int) -> int:
+        return region_elems(self.dst_region(thread)) * self.elem_bytes
+
+    # -- message plan ----------------------------------------------------------
+    def messages_from(self, src_thread: int) -> List[PlannedMessage]:
+        return [m for m in self.plan if m.src_thread == src_thread]
+
+    def messages_to(self, dst_thread: int) -> List[PlannedMessage]:
+        return [m for m in self.plan if m.dst_thread == dst_thread]
+
+    # -- data path ----------------------------------------------------------------
+    def _backing(self, iteration: int):
+        store = self._storage.get(iteration)
+        if store is None:
+            if self.execute_data:
+                store = np.zeros(self.shape, dtype=self.dtype)
+            else:
+                store = PhantomArray(self.shape, self.dtype)
+            self._storage[iteration] = store
+            self._pending_reads[iteration] = self.dst_threads
+        return store
+
+    def write(self, iteration: int, src_thread: int, data: Any) -> None:
+        """Sender thread deposits its region of the logical data."""
+        region = self.src_region(src_thread)
+        want = region_shape(region)
+        store = self._backing(iteration)
+        if not self.execute_data:
+            # Phantom mode: check only the shape contract.
+            got = tuple(getattr(data, "shape", ()))
+            if got != want:
+                raise BufferError(
+                    f"buffer {self.name!r}: thread {src_thread} wrote shape "
+                    f"{got}, region needs {want}"
+                )
+            return
+        arr = np.asarray(data)
+        if arr.shape != want:
+            raise BufferError(
+                f"buffer {self.name!r}: thread {src_thread} wrote shape "
+                f"{arr.shape}, region needs {want}"
+            )
+        store[region_indexer(region)] = arr
+
+    def read(self, iteration: int, dst_thread: int) -> Any:
+        """Receiver thread obtains its region (a fresh copy, value semantics)."""
+        if iteration not in self._storage:
+            raise BufferError(
+                f"buffer {self.name!r}: read of iteration {iteration} before any write"
+            )
+        region = self.dst_region(dst_thread)
+        store = self._storage[iteration]
+        if self.execute_data:
+            out = np.array(store[region_indexer(region)], copy=True)
+        else:
+            from .phantom import PhantomArray
+
+            out = PhantomArray(region_shape(region), self.dtype)
+        self._pending_reads[iteration] -= 1
+        if self._pending_reads[iteration] <= 0:
+            # All receivers served: free the iteration's backing storage.
+            del self._storage[iteration]
+            del self._pending_reads[iteration]
+        return out
+
+    @property
+    def live_iterations(self) -> int:
+        return len(self._storage)
+
+    def __repr__(self):
+        return (
+            f"<RuntimeBuffer {self.name!r} {self.shape} "
+            f"{self.src_striping.describe()}->{self.dst_striping.describe()} "
+            f"{self.src_threads}->{self.dst_threads} threads, "
+            f"{len(self.plan)} messages>"
+        )

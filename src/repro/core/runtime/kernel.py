@@ -1,0 +1,474 @@
+"""The SAGE run-time kernel: sequencing, striping, and buffer management.
+
+§2: *"The SAGE run-time kernel is responsible for all sequencing of
+functions, data striping, and buffer management."*
+
+:class:`SageRuntime` loads a generated glue module onto a simulated cluster
+and executes the application: one simulation process per (function instance,
+thread, iteration), sequenced by dataflow dependencies expressed as message
+arrival events, with the processor resources serialising co-mapped threads.
+The run-time charges the overheads Table 1.0 measures — function-table
+dispatch, logical-buffer staging copies, striping bookkeeping — per the
+:class:`~repro.core.runtime.config.RuntimeConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...machine.cluster import SimCluster
+from ...machine.simulator import Environment, Event
+from ..codegen.generator import GlueModule
+from .buffers import RuntimeBuffer
+from .config import DEFAULT_CONFIG, RuntimeConfig
+from .kernels import KernelBinding, KernelError, ThreadContext, default_bindings
+from .probes import ProbeEvent, Trace
+
+__all__ = ["SageRuntime", "RunResult", "RuntimeError_"]
+
+
+class RuntimeError_(RuntimeError):
+    """Run-time kernel configuration/execution failure."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a run: the §3.3 measurement quantities plus artefacts.
+
+    ``latency[k]`` is the time from iteration *k*'s data leaving the source
+    to its result reaching the sink; ``period`` is the steady-state time
+    between consecutive results at the sink.
+    """
+
+    iterations: int
+    source_times: List[float]
+    sink_times: List[float]
+    sink_results: List[Any]
+    makespan: float
+    trace: Trace = field(repr=False, default_factory=Trace)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [s - t for t, s in zip(self.source_times, self.sink_times)]
+
+    @property
+    def mean_latency(self) -> float:
+        lats = self.latencies
+        return sum(lats) / len(lats) if lats else 0.0
+
+    @property
+    def period(self) -> float:
+        if len(self.sink_times) < 2:
+            return self.mean_latency
+        return (self.sink_times[-1] - self.sink_times[0]) / (len(self.sink_times) - 1)
+
+    def full_result(self, iteration: int = 0):
+        """Stitch a (possibly distributed) sink's pieces into one array.
+
+        Returns None for timing-only runs (phantom data).
+        """
+        import numpy as np
+
+        from .phantom import PhantomArray
+
+        pieces = self.sink_results[iteration]
+        if pieces is None:
+            return None
+        pieces = list(pieces)
+        if not pieces:
+            return None
+        if any(isinstance(d, PhantomArray) for _, d in pieces):
+            return None
+        from .striping import region_indexer
+
+        rank = len(pieces[0][0])
+        shape = tuple(
+            max(region[axis].stop for region, _ in pieces) for axis in range(rank)
+        )
+        out = np.zeros(shape, dtype=np.asarray(pieces[0][1]).dtype)
+        for region, data in pieces:
+            out[region_indexer(region)] = data
+        return out
+
+
+class SageRuntime:
+    """Executes one glue module on one simulated cluster."""
+
+    def __init__(
+        self,
+        glue: GlueModule,
+        cluster: SimCluster,
+        config: RuntimeConfig = DEFAULT_CONFIG,
+        bindings: Optional[Dict[str, KernelBinding]] = None,
+        trace: Optional[Trace] = None,
+    ):
+        if glue.num_processors > len(cluster):
+            raise RuntimeError_(
+                f"glue expects {glue.num_processors} processors, cluster has {len(cluster)}"
+            )
+        self.glue = glue
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        # The glue's own buffer policy may upgrade the config (§4 optimised glue).
+        if glue.optimize_buffers and config.stage_dma_sources:
+            config = config.optimized()
+        self.config = config
+        self.bindings = dict(default_bindings())
+        if bindings:
+            self.bindings.update(bindings)
+        self.trace = trace if trace is not None else Trace()
+
+        self.functions: Dict[int, dict] = {e["id"]: e for e in glue.function_table}
+        for entry in glue.function_table:
+            if entry["kernel"] not in self.bindings:
+                raise RuntimeError_(
+                    f"function {entry['name']!r}: no binding for kernel "
+                    f"{entry['kernel']!r}; have {sorted(self.bindings)}"
+                )
+
+        self.buffers: List[RuntimeBuffer] = [
+            RuntimeBuffer(spec, execute_data=config.execute_data)
+            for spec in glue.logical_buffers
+        ]
+        self.in_buffers: Dict[int, List[RuntimeBuffer]] = {f: [] for f in self.functions}
+        self.out_buffers: Dict[int, List[RuntimeBuffer]] = {f: [] for f in self.functions}
+        for buf in self.buffers:
+            self.out_buffers[buf.src_function].append(buf)
+            self.in_buffers[buf.dst_function].append(buf)
+
+        # Message arrival events: (buffer_id, iteration, dst_thread) -> [Event]
+        self._arrivals: Dict[Tuple[int, int, int], List[Event]] = {}
+        self._thread_done: Dict[Tuple[int, int, int], Event] = {}
+        self._source_times: Dict[int, float] = {}
+        self._sink_times: Dict[int, float] = {}
+        self._sink_results: Dict[int, Any] = {}
+        self._iter_complete: Dict[int, Event] = {}
+        self._iter_sinks_left: Dict[int, int] = {}
+
+        self._identify_endpoints()
+        if config.enforce_memory:
+            self._check_memory_footprint()
+
+        # Per-(buffer, thread) remote traffic (bytes crossing processors),
+        # used by the "remote" staging policies.
+        self._buf_send_remote: Dict[Tuple[int, int], int] = {}
+        self._buf_recv_remote: Dict[Tuple[int, int], int] = {}
+        for buf in self.buffers:
+            for msg in buf.plan:
+                p_src = self.processor_of(buf.src_function, msg.src_thread)
+                p_dst = self.processor_of(buf.dst_function, msg.dst_thread)
+                if p_src != p_dst:
+                    s_key = (buf.buffer_id, msg.src_thread)
+                    d_key = (buf.buffer_id, msg.dst_thread)
+                    self._buf_send_remote[s_key] = (
+                        self._buf_send_remote.get(s_key, 0) + msg.nbytes
+                    )
+                    self._buf_recv_remote[d_key] = (
+                        self._buf_recv_remote.get(d_key, 0) + msg.nbytes
+                    )
+
+    # -- setup helpers ---------------------------------------------------------
+    def _identify_endpoints(self) -> None:
+        sources = [f for f, bufs in self.in_buffers.items() if not bufs]
+        sinks = [f for f, bufs in self.out_buffers.items() if not bufs]
+        if not sources or not sinks:
+            raise RuntimeError_("application needs at least one source and one sink")
+        self.source_ids = sources
+        self.sink_ids = sinks
+
+    def processor_of(self, function_id: int, thread: int) -> int:
+        return self.glue.processor_of(function_id, thread)
+
+    def memory_footprint(self) -> Dict[int, int]:
+        """Per-processor physical-buffer bytes (each endpoint thread holds its
+        region on both sides of every buffer, plus one staging copy of the
+        largest logical buffer for the unique-buffer scheme)."""
+        footprint: Dict[int, int] = {node.index: 0 for node in self.cluster.nodes}
+        for buf in self.buffers:
+            for t in range(buf.src_threads):
+                footprint[self.processor_of(buf.src_function, t)] += (
+                    buf.src_region_bytes(t)
+                )
+            for t in range(buf.dst_threads):
+                footprint[self.processor_of(buf.dst_function, t)] += (
+                    buf.dst_region_bytes(t)
+                )
+        return footprint
+
+    def _check_memory_footprint(self) -> None:
+        for proc, nbytes in self.memory_footprint().items():
+            limit = self.cluster.node(proc).spec.memory_bytes
+            if nbytes > limit:
+                raise MemoryError(
+                    f"processor {proc}: physical buffers need {nbytes} bytes "
+                    f"but the node has {limit} bytes DRAM; use more nodes or "
+                    f"smaller data sets (or disable enforce_memory)"
+                )
+
+    def _arrival_events(self, buf: RuntimeBuffer, iteration: int, dst_thread: int) -> List[Event]:
+        key = (buf.buffer_id, iteration, dst_thread)
+        events = self._arrivals.get(key)
+        if events is None:
+            events = [self.env.event() for _ in buf.messages_to(dst_thread)]
+            self._arrivals[key] = events
+        return events
+
+    # -- execution ---------------------------------------------------------------
+    def run(
+        self,
+        iterations: int = 1,
+        input_provider: Optional[Callable[[int], Any]] = None,
+        source_interval: float = 0.0,
+    ) -> RunResult:
+        """Execute ``iterations`` data sets through the application.
+
+        ``input_provider(k)`` supplies the k-th input data set (required when
+        the config executes real data).  ``source_interval`` throttles the
+        source to one data set per interval (0 = as fast as dataflow allows).
+        """
+        if iterations < 1:
+            raise RuntimeError_("iterations must be >= 1")
+        if self.config.execute_data and input_provider is None:
+            raise RuntimeError_("execute_data=True requires an input_provider")
+        self._input_provider = input_provider
+        self._source_interval = source_interval
+
+        sink_thread_count = sum(self.functions[f]["threads"] for f in self.sink_ids)
+        procs = []
+        for k in range(iterations):
+            self._iter_complete[k] = self.env.event()
+            self._iter_sinks_left[k] = sink_thread_count
+            for fid in self.glue.execution_order:
+                entry = self.functions[fid]
+                for t in range(entry["threads"]):
+                    self._thread_done[(fid, t, k)] = self.env.event()
+            for fid in self.glue.execution_order:
+                entry = self.functions[fid]
+                for t in range(entry["threads"]):
+                    procs.append(
+                        self.env.process(
+                            self._thread_proc(fid, t, k),
+                            name=f"{entry['name']}[{t}]#{k}",
+                        )
+                    )
+        done = self.env.all_of(procs)
+        self.env.run(until=done)
+        makespan = self.env.now
+        return RunResult(
+            iterations=iterations,
+            source_times=[self._source_times[k] for k in range(iterations)],
+            sink_times=[self._sink_times[k] for k in range(iterations)],
+            sink_results=[self._sink_results.get(k) for k in range(iterations)],
+            makespan=makespan,
+            trace=self.trace,
+        )
+
+    # -- per-thread process ---------------------------------------------------------
+    def _thread_proc(self, fid: int, thread: int, iteration: int):
+        entry = self.functions[fid]
+        node = self.cluster.node(self.processor_of(fid, thread))
+        cfg = self.config
+
+        # Sequence iterations of the same thread (a thread is one control flow).
+        if iteration > 0:
+            yield self._thread_done[(fid, thread, iteration - 1)]
+
+        if fid in self.source_ids:
+            # Data-set admission control (§3.3 latency protocol measures one
+            # data set at a time; pipelined runs raise max_in_flight).
+            m = cfg.max_in_flight
+            if m is not None and iteration >= m:
+                yield self._iter_complete[iteration - m]
+            # Source pacing, when requested.
+            if self._source_interval > 0:
+                target = iteration * self._source_interval
+                if target > self.env.now:
+                    yield self.env.timeout(target - self.env.now)
+
+        # Wait for every inbound message of this iteration.
+        for buf in self.in_buffers[fid]:
+            events = self._arrival_events(buf, iteration, thread)
+            if events:
+                yield self.env.all_of(events)
+
+        # Function-table dispatch (the per-invocation run-time cost).
+        if cfg.dispatch_overhead > 0:
+            yield from node.busy(cfg.dispatch_overhead)
+        self._probe("enter", entry, thread, iteration, node.index)
+
+        binding = self.bindings[entry["kernel"]]
+
+        # Receive-side logical->physical buffer copies (unpack).  DMA
+        # endpoints read the logical buffer directly and pay nothing here.
+        if not binding.dma_endpoint:
+            recv_bytes = sum(
+                self._staged_bytes(buf, thread, cfg.recv_staging, receive=True)
+                for buf in self.in_buffers[fid]
+            )
+            if recv_bytes:
+                yield from node.copy(recv_bytes)
+
+        inputs = {
+            buf.dst_port: buf.read(iteration, thread) for buf in self.in_buffers[fid]
+        }
+        ctx = self._make_ctx(entry, thread, iteration)
+
+        flops = binding.flops(ctx, inputs)
+        copy_bytes = binding.copy_bytes(ctx, inputs)
+        if flops:
+            # Generated call sites sustain a fraction of hand-tuned MFLOPS
+            # (generic strides through port descriptors).
+            yield from node.compute(flops / cfg.compute_efficiency)
+        if copy_bytes:
+            yield from node.copy(copy_bytes)
+
+        try:
+            outputs = binding.run(ctx, inputs)
+        except KernelError:
+            raise
+        except Exception as exc:
+            raise RuntimeError_(
+                f"kernel {entry['kernel']!r} of {entry['name']!r} failed: {exc}"
+            ) from exc
+
+        if fid in self.source_ids:
+            # "Latency ... from when the first data leaves the data source":
+            # keep the earliest source completion of this iteration.
+            prev = self._source_times.get(iteration)
+            self._source_times[iteration] = (
+                self.env.now if prev is None else min(prev, self.env.now)
+            )
+            self._probe("source", entry, thread, iteration, node.index)
+        if fid in self.sink_ids:
+            # "... to the time the final result is output to the data sink":
+            # keep the latest sink completion.
+            self._sink_times[iteration] = max(
+                self._sink_times.get(iteration, 0.0), self.env.now
+            )
+            self._probe("sink", entry, thread, iteration, node.index)
+
+        # Send-side staging copies (pack) + deposit into logical buffers.
+        for buf in self.out_buffers[fid]:
+            if buf.src_port not in outputs:
+                raise RuntimeError_(
+                    f"kernel {entry['kernel']!r} produced no data for port "
+                    f"{buf.src_port!r} (has {sorted(outputs)})"
+                )
+            if binding.dma_endpoint and not cfg.stage_dma_sources:
+                staged = 0  # optimised glue: source DMAs into the buffer
+            else:
+                staged = self._staged_bytes(buf, thread, cfg.send_staging, receive=False)
+            if staged:
+                yield from node.copy(staged)
+            buf.write(iteration, thread, outputs[buf.src_port])
+            # Rotate the send order by the sender's own index so concurrent
+            # redistributions don't all target destination 0 first (ejection
+            # convoys); this is the schedule a pairwise exchange produces.
+            msgs = sorted(
+                buf.messages_from(thread),
+                key=lambda m: (m.dst_thread - thread) % max(1, buf.dst_threads),
+            )
+            for msg in msgs:
+                self.env.process(
+                    self._transfer_proc(buf, msg, iteration, entry),
+                    name=f"xfer:{buf.name}#{iteration}",
+                )
+
+        self._probe("exit", entry, thread, iteration, node.index)
+        if fid in self.sink_ids:
+            self._iter_sinks_left[iteration] -= 1
+            if self._iter_sinks_left[iteration] == 0:
+                self._iter_complete[iteration].succeed()
+        self._thread_done[(fid, thread, iteration)].succeed()
+
+    def _staged_bytes(self, buf: RuntimeBuffer, thread: int, policy: str, receive: bool) -> int:
+        """Bytes charged to the staging copy under the given policy."""
+        if policy == "none":
+            return 0
+        if policy == "all":
+            return (
+                buf.dst_region_bytes(thread) if receive else buf.src_region_bytes(thread)
+            )
+        table = self._buf_recv_remote if receive else self._buf_send_remote
+        return table.get((buf.buffer_id, thread), 0)
+
+    def _transfer_proc(self, buf: RuntimeBuffer, msg, iteration: int, src_entry: dict):
+        src_proc = self.processor_of(buf.src_function, msg.src_thread)
+        dst_proc = self.processor_of(buf.dst_function, msg.dst_thread)
+        node = self.cluster.node(src_proc)
+        if self.config.striping_overhead_per_message > 0:
+            yield from node.busy(self.config.striping_overhead_per_message)
+        self._probe(
+            "send", src_entry, msg.src_thread, iteration, src_proc,
+            detail=buf.name, nbytes=msg.nbytes,
+        )
+        if src_proc != dst_proc:
+            yield from self.cluster.transfer(src_proc, dst_proc, msg.nbytes)
+        dst_entry = self.functions[buf.dst_function]
+        self._probe(
+            "arrive", dst_entry, msg.dst_thread, iteration, dst_proc,
+            detail=buf.name, nbytes=msg.nbytes,
+        )
+        events = self._arrival_events(buf, iteration, msg.dst_thread)
+        index = buf.messages_to(msg.dst_thread).index(msg)
+        events[index].succeed()
+
+    # -- helpers ---------------------------------------------------------------
+    def _make_ctx(self, entry: dict, thread: int, iteration: int) -> ThreadContext:
+        fid = entry["id"]
+        in_regions = {
+            buf.dst_port: buf.dst_region(thread) for buf in self.in_buffers[fid]
+        }
+        out_regions = {
+            buf.src_port: buf.src_region(thread) for buf in self.out_buffers[fid]
+        }
+        out_dtypes = {buf.src_port: buf.dtype for buf in self.out_buffers[fid]}
+        return ThreadContext(
+            function_id=fid,
+            name=entry["name"],
+            kernel=entry["kernel"],
+            thread=thread,
+            threads=entry["threads"],
+            iteration=iteration,
+            params=entry["params"],
+            in_regions=in_regions,
+            out_regions=out_regions,
+            out_dtypes=out_dtypes,
+            execute_data=self.config.execute_data,
+            fft_backend=self.config.fft_backend,
+            fetch_input=self._fetch_input,
+            store_result=self._store_result,
+        )
+
+    def _fetch_input(self, iteration: int) -> Any:
+        if self._input_provider is None:
+            raise RuntimeError_("no input provider configured")
+        return self._input_provider(iteration)
+
+    def _store_result(self, iteration: int, piece: Any) -> None:
+        self._sink_results.setdefault(iteration, []).append(piece)
+
+    def _probe(
+        self,
+        kind: str,
+        entry: dict,
+        thread: int,
+        iteration: int,
+        processor: int,
+        detail: str = "",
+        nbytes: int = 0,
+    ) -> None:
+        self.trace.record(
+            ProbeEvent(
+                time=self.env.now,
+                kind=kind,
+                function=entry["name"],
+                function_id=entry["id"],
+                thread=thread,
+                processor=processor,
+                iteration=iteration,
+                detail=detail,
+                nbytes=nbytes,
+            )
+        )

@@ -1,0 +1,92 @@
+"""Instrumentation probes and the execution trace.
+
+§1.1: *"The SAGE Visualizer is a configurable instrumentation package that
+enables the designer to visualize the execution of the application through a
+variety of graphical displays that are fed by probes placed within the
+generated code."*
+
+The run-time fires a :class:`ProbeEvent` at every probe point the glue code
+declares (function enter/exit) plus message send/arrive events; the
+:class:`Trace` is the feed the Visualizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+__all__ = ["ProbeEvent", "Trace", "PROBE_KINDS"]
+
+PROBE_KINDS = ("enter", "exit", "send", "arrive", "source", "sink")
+
+
+@dataclass(frozen=True)
+class ProbeEvent:
+    """One instrumented occurrence on the virtual timeline."""
+
+    time: float
+    kind: str          # one of PROBE_KINDS
+    function: str      # function instance path
+    function_id: int
+    thread: int
+    processor: int
+    iteration: int
+    detail: str = ""   # e.g. buffer name for send/arrive
+    nbytes: int = 0
+
+    def __post_init__(self):
+        if self.kind not in PROBE_KINDS:
+            raise ValueError(f"unknown probe kind {self.kind!r}")
+
+
+class Trace:
+    """An append-only store of probe events with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[ProbeEvent] = []
+
+    def record(self, event: ProbeEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    # -- queries -------------------------------------------------------------
+    def by_kind(self, kind: str) -> List[ProbeEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def by_function(self, function: str) -> List[ProbeEvent]:
+        return [e for e in self.events if e.function == function]
+
+    def by_processor(self, processor: int) -> List[ProbeEvent]:
+        return [e for e in self.events if e.processor == processor]
+
+    def by_iteration(self, iteration: int) -> List[ProbeEvent]:
+        return [e for e in self.events if e.iteration == iteration]
+
+    def spans(self, function: Optional[str] = None) -> List[tuple]:
+        """(function, thread, iteration, t_enter, t_exit) busy spans."""
+        starts = {}
+        out = []
+        for e in self.events:
+            if function is not None and e.function != function:
+                continue
+            key = (e.function, e.thread, e.iteration)
+            if e.kind == "enter":
+                starts[key] = e.time
+            elif e.kind == "exit" and key in starts:
+                out.append((e.function, e.thread, e.iteration, starts.pop(key), e.time))
+        return out
+
+    @property
+    def span(self) -> float:
+        """Virtual-time extent of the whole trace."""
+        if not self.events:
+            return 0.0
+        times = [e.time for e in self.events]
+        return max(times) - min(times)
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[ProbeEvent]:
+        return iter(self.events)

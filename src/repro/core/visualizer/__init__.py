@@ -1,0 +1,35 @@
+"""SAGE Visualizer: trace analysis, timelines, and run reports."""
+
+from .analysis import (
+    BottleneckReport,
+    communication_volume,
+    find_bottleneck,
+    function_busy_time,
+    latency_histogram,
+    latency_violations,
+    stage_breakdown,
+    utilization,
+)
+from .timeline import Lane, build_lanes, render_gantt
+from .report import run_report
+from .export import run_summary, trace_to_csv, trace_to_json
+from .html import render_html_report
+
+__all__ = [
+    "BottleneckReport",
+    "communication_volume",
+    "find_bottleneck",
+    "function_busy_time",
+    "latency_histogram",
+    "latency_violations",
+    "stage_breakdown",
+    "utilization",
+    "Lane",
+    "build_lanes",
+    "render_gantt",
+    "run_report",
+    "render_html_report",
+    "run_summary",
+    "trace_to_csv",
+    "trace_to_json",
+]

@@ -1,0 +1,131 @@
+"""Trace analysis: utilisation, bottlenecks, latency-threshold checks.
+
+§1.1: *"The Visualizer allows the designer to configure the instrumentation
+probes to measure application performance, and search for problems in the
+system, such as bottlenecks or violated latency thresholds."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.probes import Trace
+
+__all__ = [
+    "utilization",
+    "function_busy_time",
+    "find_bottleneck",
+    "latency_violations",
+    "communication_volume",
+    "stage_breakdown",
+    "latency_histogram",
+    "BottleneckReport",
+]
+
+
+def utilization(trace: Trace, processors: int) -> List[float]:
+    """Busy fraction per processor over the trace span (enter..exit spans)."""
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    span = trace.span
+    busy = [0.0] * processors
+    starts: Dict[Tuple[str, int, int], Tuple[float, int]] = {}
+    for e in trace:
+        key = (e.function, e.thread, e.iteration)
+        if e.kind == "enter":
+            starts[key] = (e.time, e.processor)
+        elif e.kind == "exit" and key in starts:
+            t0, proc = starts.pop(key)
+            if proc < processors:
+                busy[proc] += e.time - t0
+    if span <= 0:
+        return [0.0] * processors
+    return [min(1.0, b / span) for b in busy]
+
+
+def function_busy_time(trace: Trace) -> Dict[str, float]:
+    """Total busy seconds per function instance across threads/iterations."""
+    out: Dict[str, float] = {}
+    for function, _t, _k, t0, t1 in trace.spans():
+        out[function] = out.get(function, 0.0) + (t1 - t0)
+    return out
+
+
+@dataclass
+class BottleneckReport:
+    """The dominant cost centre of a run."""
+
+    function: str
+    busy_time: float
+    share: float  # fraction of total busy time
+    comm_bytes: int
+    comm_share: float  # comm bytes attributable to this function's sends
+
+
+def find_bottleneck(trace: Trace) -> Optional[BottleneckReport]:
+    """The function with the largest total busy time (None for empty traces)."""
+    busy = function_busy_time(trace)
+    if not busy:
+        return None
+    total_busy = sum(busy.values())
+    name = max(busy, key=busy.get)
+    sends = [e for e in trace.by_kind("send")]
+    total_bytes = sum(e.nbytes for e in sends)
+    mine = sum(e.nbytes for e in sends if e.function == name)
+    return BottleneckReport(
+        function=name,
+        busy_time=busy[name],
+        share=busy[name] / total_busy if total_busy else 0.0,
+        comm_bytes=mine,
+        comm_share=mine / total_bytes if total_bytes else 0.0,
+    )
+
+
+def latency_violations(latencies: List[float], threshold: float) -> List[Tuple[int, float]]:
+    """(iteration, latency) pairs exceeding the threshold."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    return [(k, lat) for k, lat in enumerate(latencies) if lat > threshold]
+
+
+def communication_volume(trace: Trace) -> Dict[str, int]:
+    """Bytes sent per logical buffer (from send probes)."""
+    out: Dict[str, int] = {}
+    for e in trace.by_kind("send"):
+        out[e.detail] = out.get(e.detail, 0) + e.nbytes
+    return out
+
+
+def stage_breakdown(trace: Trace, iteration: int) -> Dict[str, float]:
+    """Busy seconds per function within one iteration (the 'where did the
+    data set's time go' display)."""
+    out: Dict[str, float] = {}
+    for function, _t, k, t0, t1 in trace.spans():
+        if k == iteration:
+            out[function] = out.get(function, 0.0) + (t1 - t0)
+    return out
+
+
+def latency_histogram(latencies: List[float], bins: int = 10, width: int = 40) -> str:
+    """ASCII histogram of per-iteration latencies (jitter display)."""
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    if not latencies:
+        return "(no latencies)"
+    lo, hi = min(latencies), max(latencies)
+    if hi <= lo:
+        return f"all {len(latencies)} iterations at {lo * 1e3:.3f} ms"
+    span = hi - lo
+    counts = [0] * bins
+    for lat in latencies:
+        idx = min(bins - 1, int((lat - lo) / span * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    rows = []
+    for i, c in enumerate(counts):
+        left = (lo + i * span / bins) * 1e3
+        right = (lo + (i + 1) * span / bins) * 1e3
+        bar = "#" * (c * width // peak) if peak else ""
+        rows.append(f"{left:9.3f}-{right:9.3f} ms |{bar:<{width}s}| {c}")
+    return "\n".join(rows)

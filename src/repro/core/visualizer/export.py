@@ -1,0 +1,73 @@
+"""Trace export: CSV/JSON feeds for external analysis tools.
+
+The real Visualizer fed graphical displays; these exporters produce the
+equivalent machine-readable feeds (one row per probe event, plus a summary
+document) so traces can be inspected with pandas/spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import IO, Union
+
+from ..runtime.kernel import RunResult
+from ..runtime.probes import Trace
+from .analysis import communication_volume, function_busy_time, utilization
+
+__all__ = ["trace_to_csv", "trace_to_json", "run_summary"]
+
+_FIELDS = [
+    "time",
+    "kind",
+    "function",
+    "function_id",
+    "thread",
+    "processor",
+    "iteration",
+    "detail",
+    "nbytes",
+]
+
+
+def trace_to_csv(trace: Trace, fp: Union[IO, None] = None) -> str:
+    """Write the trace as CSV; returns the text (also writes to ``fp``)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_FIELDS)
+    for e in trace:
+        writer.writerow(
+            [e.time, e.kind, e.function, e.function_id, e.thread, e.processor,
+             e.iteration, e.detail, e.nbytes]
+        )
+    text = buf.getvalue()
+    if fp is not None:
+        fp.write(text)
+    return text
+
+
+def trace_to_json(trace: Trace, fp: Union[IO, None] = None) -> str:
+    """Write the trace as a JSON list of event objects."""
+    events = [
+        {field: getattr(e, field) for field in _FIELDS} for e in trace
+    ]
+    text = json.dumps({"events": events, "count": len(events)}, indent=2)
+    if fp is not None:
+        fp.write(text)
+    return text
+
+
+def run_summary(result: RunResult, processors: int) -> dict:
+    """A JSON-able summary of one run (the report's numbers, structured)."""
+    return {
+        "iterations": result.iterations,
+        "mean_latency_s": result.mean_latency,
+        "period_s": result.period,
+        "makespan_s": result.makespan,
+        "latencies_s": list(result.latencies),
+        "utilization": utilization(result.trace, processors),
+        "function_busy_s": function_busy_time(result.trace),
+        "communication_bytes": communication_volume(result.trace),
+        "probe_events": len(result.trace),
+    }

@@ -1,0 +1,135 @@
+"""Self-contained HTML report: the Visualizer's graphical display, exported.
+
+Produces a single HTML file with an SVG Gantt timeline (one lane per
+processor, one bar per function-thread execution, message arrows omitted
+for legibility), the utilisation table, and the run statistics — no
+external assets, viewable anywhere.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from typing import List, Optional
+
+from ..runtime.kernel import RunResult
+from .analysis import function_busy_time, utilization
+from .timeline import build_lanes
+
+__all__ = ["render_html_report"]
+
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render_html_report(
+    result: RunResult,
+    processors: int,
+    title: str = "SAGE Visualizer",
+    width: int = 960,
+    lane_height: int = 28,
+) -> str:
+    """Render a full standalone HTML report for one run."""
+    lanes = build_lanes(result.trace, processors)
+    times = [e.time for e in result.trace]
+    t_min = min(times) if times else 0.0
+    t_max = max(times) if times else 1.0
+    span = max(t_max - t_min, 1e-12)
+
+    functions = sorted({label.split("[")[0] for lane in lanes for _, _, label in lane.spans})
+    colors = {fn: _PALETTE[i % len(_PALETTE)] for i, fn in enumerate(functions)}
+
+    def x(t: float) -> float:
+        return 80 + (t - t_min) / span * (width - 100)
+
+    svg_height = processors * lane_height + 40
+    parts: List[str] = []
+    parts.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    parts.append(f"<title>{html_escape.escape(title)}</title>")
+    parts.append(
+        "<style>body{font-family:monospace;margin:2em;background:#fafafa}"
+        "table{border-collapse:collapse}td,th{border:1px solid #ccc;"
+        "padding:4px 10px;text-align:right}th{background:#eee}"
+        ".legend span{display:inline-block;margin-right:1em}"
+        ".swatch{display:inline-block;width:10px;height:10px;margin-right:4px}"
+        "</style></head><body>"
+    )
+    parts.append(f"<h1>{html_escape.escape(title)}</h1>")
+    parts.append(
+        "<p>"
+        f"iterations: <b>{result.iterations}</b> &nbsp; "
+        f"mean latency: <b>{_fmt(result.mean_latency)}</b> &nbsp; "
+        f"period: <b>{_fmt(result.period)}</b> &nbsp; "
+        f"makespan: <b>{_fmt(result.makespan)}</b>"
+        "</p>"
+    )
+
+    # legend
+    parts.append("<div class='legend'>")
+    for fn in functions:
+        parts.append(
+            f"<span><span class='swatch' style='background:{colors[fn]}'></span>"
+            f"{html_escape.escape(fn)}</span>"
+        )
+    parts.append("</div>")
+
+    # SVG timeline
+    parts.append(
+        f"<svg width='{width}' height='{svg_height}' "
+        "style='background:#fff;border:1px solid #ccc;margin-top:1em'>"
+    )
+    for lane in lanes:
+        y = 10 + lane.processor * lane_height
+        parts.append(
+            f"<text x='8' y='{y + lane_height * 0.6}' font-size='12'>"
+            f"P{lane.processor}</text>"
+        )
+        parts.append(
+            f"<line x1='80' y1='{y + lane_height - 6}' x2='{width - 20}' "
+            f"y2='{y + lane_height - 6}' stroke='#eee'/>"
+        )
+        for t0, t1, label in lane.spans:
+            fn = label.split("[")[0]
+            x0, x1 = x(t0), x(t1)
+            bar_width = max(x1 - x0, 1.0)
+            parts.append(
+                f"<rect x='{x0:.2f}' y='{y}' width='{bar_width:.2f}' "
+                f"height='{lane_height - 10}' fill='{colors[fn]}' "
+                f"opacity='0.85'><title>{html_escape.escape(label)} "
+                f"[{_fmt(t0)} .. {_fmt(t1)}]</title></rect>"
+            )
+    # time axis labels
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = t_min + frac * span
+        parts.append(
+            f"<text x='{x(t):.1f}' y='{svg_height - 8}' font-size='10' "
+            f"text-anchor='middle'>{_fmt(t)}</text>"
+        )
+    parts.append("</svg>")
+
+    # utilization + busy tables
+    parts.append("<h2>Processor utilization</h2><table><tr><th>CPU</th>"
+                 "<th>busy</th></tr>")
+    for p, u in enumerate(utilization(result.trace, processors)):
+        parts.append(f"<tr><td>P{p}</td><td>{u * 100:.1f}%</td></tr>")
+    parts.append("</table>")
+
+    parts.append("<h2>Function busy time</h2><table><tr><th>function</th>"
+                 "<th>busy</th></tr>")
+    busy = function_busy_time(result.trace)
+    for fn in sorted(busy, key=busy.get, reverse=True):
+        parts.append(
+            f"<tr><td style='text-align:left'>{html_escape.escape(fn)}</td>"
+            f"<td>{_fmt(busy[fn])}</td></tr>"
+        )
+    parts.append("</table></body></html>")
+    return "".join(parts)

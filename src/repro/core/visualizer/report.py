@@ -1,0 +1,84 @@
+"""Text rendering of the Visualizer's displays."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime.kernel import RunResult
+from .analysis import (
+    communication_volume,
+    find_bottleneck,
+    function_busy_time,
+    latency_violations,
+    utilization,
+)
+from .timeline import render_gantt
+
+__all__ = ["run_report"]
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def run_report(
+    result: RunResult,
+    processors: int,
+    latency_threshold: Optional[float] = None,
+    gantt_width: int = 72,
+) -> str:
+    """The full Visualizer text report for one run."""
+    lines: List[str] = []
+    lines.append("=== SAGE Visualizer run report ===")
+    lines.append(f"iterations       : {result.iterations}")
+    lines.append(f"mean latency     : {_fmt_time(result.mean_latency)}")
+    lines.append(f"period           : {_fmt_time(result.period)}")
+    lines.append(f"makespan         : {_fmt_time(result.makespan)}")
+    lines.append("")
+
+    lines.append("--- processor utilization ---")
+    for p, u in enumerate(utilization(result.trace, processors)):
+        bar = "#" * int(u * 40)
+        lines.append(f"P{p:<3d} {u * 100:5.1f}% |{bar}")
+    lines.append("")
+
+    lines.append("--- function busy time ---")
+    busy = function_busy_time(result.trace)
+    for fn in sorted(busy, key=busy.get, reverse=True):
+        lines.append(f"{fn:<24s} {_fmt_time(busy[fn])}")
+    lines.append("")
+
+    bottleneck = find_bottleneck(result.trace)
+    if bottleneck is not None:
+        lines.append("--- bottleneck ---")
+        lines.append(
+            f"{bottleneck.function}: {bottleneck.share * 100:.1f}% of busy time, "
+            f"{bottleneck.comm_bytes} bytes sent "
+            f"({bottleneck.comm_share * 100:.1f}% of traffic)"
+        )
+        lines.append("")
+
+    comm = communication_volume(result.trace)
+    if comm:
+        lines.append("--- communication volume per logical buffer ---")
+        for name in sorted(comm, key=comm.get, reverse=True):
+            lines.append(f"{name:<40s} {comm[name]:>12d} bytes")
+        lines.append("")
+
+    if latency_threshold is not None:
+        violations = latency_violations(result.latencies, latency_threshold)
+        lines.append(
+            f"--- latency threshold {_fmt_time(latency_threshold)}: "
+            f"{len(violations)} violation(s) ---"
+        )
+        for k, lat in violations[:10]:
+            lines.append(f"iteration {k}: {_fmt_time(lat)}")
+        lines.append("")
+
+    lines.append("--- timeline ---")
+    lines.append(render_gantt(result.trace, processors, width=gantt_width))
+    return "\n".join(lines)

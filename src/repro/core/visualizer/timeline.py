@@ -1,0 +1,75 @@
+"""Timeline / Gantt rendering of execution traces.
+
+The Visualizer's "variety of graphical displays" (§1.1), rendered as text:
+per-processor lanes of function activity over virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..runtime.probes import Trace
+
+__all__ = ["Lane", "build_lanes", "render_gantt"]
+
+
+@dataclass
+class Lane:
+    """One processor's activity spans: (start, finish, label)."""
+
+    processor: int
+    spans: List[Tuple[float, float, str]]
+
+
+def build_lanes(trace: Trace, processors: int) -> List[Lane]:
+    """Group enter/exit spans by processor."""
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    starts: Dict[Tuple[str, int, int], Tuple[float, int]] = {}
+    lanes = {p: Lane(p, []) for p in range(processors)}
+    for e in trace:
+        key = (e.function, e.thread, e.iteration)
+        if e.kind == "enter":
+            starts[key] = (e.time, e.processor)
+        elif e.kind == "exit" and key in starts:
+            t0, proc = starts.pop(key)
+            if proc in lanes:
+                label = f"{e.function}[{e.thread}]#{e.iteration}"
+                lanes[proc].spans.append((t0, e.time, label))
+    for lane in lanes.values():
+        lane.spans.sort()
+    return [lanes[p] for p in range(processors)]
+
+
+def render_gantt(trace: Trace, processors: int, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per processor, '#' where busy.
+
+    Rows are scaled to the trace's virtual-time extent; the scale line at the
+    bottom gives seconds per column.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    lanes = build_lanes(trace, processors)
+    times = [e.time for e in trace]
+    if not times:
+        return "(empty trace)"
+    t_min, t_max = min(times), max(times)
+    span = t_max - t_min
+    if span <= 0:
+        span = 1.0
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t_min) / span * width))
+
+    rows = []
+    for lane in lanes:
+        cells = [" "] * width
+        for t0, t1, _label in lane.spans:
+            for c in range(col(t0), col(t1) + 1):
+                cells[c] = "#"
+        rows.append(f"P{lane.processor:<3d}|{''.join(cells)}|")
+    scale = span / width
+    rows.append(f"     {'-' * width} ")
+    rows.append(f"     t0={t_min:.6g}s  span={span:.6g}s  ({scale:.3g} s/col)")
+    return "\n".join(rows)

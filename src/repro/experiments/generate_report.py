@@ -1,0 +1,64 @@
+"""Generate the full reproduction record: every experiment at full protocol.
+
+Writes one text artifact per experiment into ``reports/`` (used to fill
+EXPERIMENTS.md).  Run: ``python -m repro.experiments.generate_report [outdir]``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from .ablations import (
+    format_knobs,
+    format_optimized,
+    format_two_node,
+    knob_study,
+    optimized_glue_study,
+    two_node_study,
+)
+from .atot_study import format_atot_study, run_atot_study
+from .crossvendor import format_crossvendor, run_crossvendor
+from .period_latency import format_period_latency, run_period_latency
+from .runner import FULL_PROTOCOL
+from .table1 import format_table1, run_table1
+
+
+def _code_size_text() -> str:
+    from .code_size import format_code_size, run_code_size
+
+    return format_code_size(run_code_size())
+
+
+def main(argv=None) -> int:
+    outdir = (argv or sys.argv[1:] or ["reports"])[0]
+    os.makedirs(outdir, exist_ok=True)
+    jobs = [
+        ("table1.txt", lambda: format_table1(run_table1(FULL_PROTOCOL))),
+        ("two_node.txt", lambda: format_two_node(two_node_study(FULL_PROTOCOL))),
+        (
+            "optimized_glue.txt",
+            lambda: format_optimized(optimized_glue_study(FULL_PROTOCOL)),
+        ),
+        (
+            "knobs.txt",
+            lambda: format_knobs(knob_study(FULL_PROTOCOL), "fft2d", 4, 1024),
+        ),
+        ("crossvendor.txt", lambda: format_crossvendor(run_crossvendor(FULL_PROTOCOL))),
+        ("atot.txt", lambda: format_atot_study(run_atot_study(generations=40))),
+        ("period_latency.txt", lambda: format_period_latency(run_period_latency())),
+        ("code_size.txt", lambda: _code_size_text()),
+    ]
+    for filename, job in jobs:
+        t0 = time.time()
+        text = job()
+        path = os.path.join(outdir, filename)
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {path} ({time.time() - t0:.1f}s)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""The §3.3 experiment protocol.
+
+*"each node configuration and mapping will be executed ten times where each
+execution consists of a 100 iterations. The final performance number for
+that execution will average the 100*10 results into a final average result.
+... a period is defined to be the time between input data sets while latency
+is the time required to process a single data set."*
+
+:func:`measure_sage` runs the auto-generated glue through the SAGE run-time;
+:func:`measure_hand` runs the hand-coded rank program over the vendor MPI.
+Both execute in timing mode on the same simulated platform, so the only
+differences are exactly the run-time overheads under study.  The simulator
+is deterministic; per-run measurement jitter (clock granularity, interrupt
+skew on the real VxWorks boards) is modeled as a small seeded multiplicative
+term so the 10-run averaging machinery is exercised honestly.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..apps import (
+    benchmark_mapping,
+    corner_turn_model,
+    corner_turn_rank,
+    fft2d_model,
+    fft2d_rank,
+)
+from ..core.codegen import generate_glue
+from ..core.runtime import DEFAULT_CONFIG, RuntimeConfig, SageRuntime
+from ..machine import Environment, PlatformSpec, SimCluster, get_platform
+from ..mpi import MpiWorld
+
+__all__ = ["Protocol", "Measurement", "measure_sage", "measure_hand", "APP_BUILDERS"]
+
+#: benchmark name -> (model builder, hand-coded rank program)
+APP_BUILDERS = {
+    "fft2d": (fft2d_model, fft2d_rank),
+    "corner_turn": (corner_turn_model, corner_turn_rank),
+}
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """How many runs/iterations to execute and how to jitter them."""
+
+    runs: int = 10
+    iterations: int = 100
+    jitter_sigma: float = 0.004  # ~0.4 % run-to-run spread
+    seed: int = 20000316  # IPPS 2000 vintage
+
+    def __post_init__(self):
+        if self.runs < 1 or self.iterations < 1:
+            raise ValueError("runs and iterations must be >= 1")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+
+
+#: The paper's full protocol and a fast variant for CI/benchmarks.
+FULL_PROTOCOL = Protocol()
+QUICK_PROTOCOL = Protocol(runs=3, iterations=10)
+
+
+@dataclass
+class Measurement:
+    """An averaged latency/period measurement for one configuration."""
+
+    app: str
+    platform: str
+    nodes: int
+    size: int
+    variant: str  # 'hand' | 'sage' | 'sage_optimized'
+    run_latencies: List[float] = field(default_factory=list)
+    run_periods: List[float] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        return statistics.fmean(self.run_latencies)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency * 1e3
+
+    @property
+    def period(self) -> float:
+        return statistics.fmean(self.run_periods)
+
+    @property
+    def latency_stdev(self) -> float:
+        if len(self.run_latencies) < 2:
+            return 0.0
+        return statistics.stdev(self.run_latencies)
+
+
+def _jitter(base: float, protocol: Protocol, run: int, tag: str) -> float:
+    if protocol.jitter_sigma == 0:
+        return base
+    rng = np.random.default_rng(
+        np.random.SeedSequence([protocol.seed, run, hash(tag) & 0x7FFFFFFF])
+    )
+    return base * float(1.0 + protocol.jitter_sigma * rng.standard_normal())
+
+
+def measure_sage(
+    app: str,
+    platform: PlatformSpec,
+    nodes: int,
+    size: int,
+    protocol: Protocol = QUICK_PROTOCOL,
+    config: Optional[RuntimeConfig] = None,
+    optimize_buffers: bool = False,
+) -> Measurement:
+    """Average latency of the SAGE auto-generated code for one configuration."""
+    builder, _ = _lookup(app)
+    model = builder(size, nodes)
+    mapping = benchmark_mapping(model, nodes)
+    glue = generate_glue(
+        model, mapping, num_processors=nodes, optimize_buffers=optimize_buffers
+    )
+    cfg = (config or DEFAULT_CONFIG).timing_only()
+    variant = "sage_optimized" if (optimize_buffers or cfg.send_staging != "all") else "sage"
+    meas = Measurement(app, platform.name, nodes, size, variant)
+    for run in range(protocol.runs):
+        env = Environment()
+        cluster = SimCluster.from_platform(env, platform, nodes)
+        runtime = SageRuntime(glue, cluster, config=cfg)
+        result = runtime.run(iterations=protocol.iterations)
+        tag = f"sage:{app}:{platform.name}:{nodes}:{size}"
+        meas.run_latencies.append(_jitter(result.mean_latency, protocol, run, tag))
+        meas.run_periods.append(_jitter(result.period, protocol, run, tag + ":p"))
+    return meas
+
+
+def measure_hand(
+    app: str,
+    platform: PlatformSpec,
+    nodes: int,
+    size: int,
+    protocol: Protocol = QUICK_PROTOCOL,
+    alltoall_algorithm: Optional[str] = None,
+) -> Measurement:
+    """Average latency of the hand-coded implementation for one configuration."""
+    _, rank_program = _lookup(app)
+    algorithm = alltoall_algorithm or platform.alltoall_algorithm
+    meas = Measurement(app, platform.name, nodes, size, "hand")
+    for run in range(protocol.runs):
+        env = Environment()
+        cluster = SimCluster.from_platform(env, platform, nodes)
+        world = MpiWorld(cluster)
+        world.spawn(
+            rank_program,
+            size,
+            iterations=protocol.iterations,
+            alltoall_algorithm=algorithm,
+            execute_data=False,
+        )
+        timings = world.run()
+        latencies = []
+        for k in range(protocol.iterations):
+            start = min(t.starts[k] for t in timings)
+            finish = max(t.finishes[k] for t in timings)
+            latencies.append(finish - start)
+        base_latency = statistics.fmean(latencies)
+        finish_times = [max(t.finishes[k] for t in timings) for k in range(protocol.iterations)]
+        if len(finish_times) > 1:
+            period = (finish_times[-1] - finish_times[0]) / (len(finish_times) - 1)
+        else:
+            period = base_latency
+        tag = f"hand:{app}:{platform.name}:{nodes}:{size}"
+        meas.run_latencies.append(_jitter(base_latency, protocol, run, tag))
+        meas.run_periods.append(_jitter(period, protocol, run, tag + ":p"))
+    return meas
+
+
+def _lookup(app: str):
+    try:
+        return APP_BUILDERS[app]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {app!r}; available: {sorted(APP_BUILDERS)}"
+        ) from None

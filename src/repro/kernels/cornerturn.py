@@ -1,0 +1,105 @@
+"""Corner-turn (matrix transpose / data reorganisation) kernels.
+
+The *corner turn* is the defining data-movement operation of embedded
+signal processing: after processing a data cube along one dimension (e.g.
+range), the cube must be re-laid-out so the next stage can process along
+another (e.g. pulse).  Locally it is a blocked transpose; distributed, it is
+the all-to-all exchange benchmarked in Table 1.0.
+
+Functions here are the *local* pieces: tile extraction for the send side and
+tile assembly for the receive side, plus a cache-blocked local transpose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "local_transpose",
+    "split_row_block",
+    "extract_send_tiles",
+    "assemble_received_tiles",
+    "row_block_bounds",
+]
+
+
+def local_transpose(x: np.ndarray, block: int = 64) -> np.ndarray:
+    """Cache-blocked transpose of a 2-D array (always returns a new array)."""
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {x.shape}")
+    if block <= 0:
+        raise ValueError("block must be positive")
+    rows, cols = x.shape
+    out = np.empty((cols, rows), dtype=x.dtype)
+    for r0 in range(0, rows, block):
+        r1 = min(r0 + block, rows)
+        for c0 in range(0, cols, block):
+            c1 = min(c0 + block, cols)
+            out[c0:c1, r0:r1] = x[r0:r1, c0:c1].T
+    return out
+
+
+def row_block_bounds(n: int, parts: int) -> List[tuple]:
+    """(start, stop) row bounds dividing ``n`` rows into ``parts`` blocks.
+
+    Blocks differ in size by at most one row (remainder spread over the
+    leading blocks), matching SAGE's "divided evenly" striping rule.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base, extra = divmod(n, parts)
+    bounds = []
+    start = 0
+    for p in range(parts):
+        stop = start + base + (1 if p < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def split_row_block(x: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Split a 2-D array into ``parts`` row blocks (views, no copies)."""
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {x.shape}")
+    return [x[a:b] for a, b in row_block_bounds(x.shape[0], parts)]
+
+
+def extract_send_tiles(local_rows: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Column-partition this rank's row block into per-destination tiles.
+
+    In a distributed corner turn of an ``n x n`` matrix over ``p`` ranks with
+    row-block distribution, rank *s* holds rows ``[s*n/p, (s+1)*n/p)``.  The
+    tile destined for rank *d* is the column slice ``[d*n/p, (d+1)*n/p)`` of
+    that block, *pre-transposed* so the receiver can assemble contiguously.
+    """
+    local_rows = np.asarray(local_rows)
+    if local_rows.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {local_rows.shape}")
+    tiles = []
+    for a, b in row_block_bounds(local_rows.shape[1], parts):
+        tiles.append(np.ascontiguousarray(local_rows[:, a:b].T))
+    return tiles
+
+
+def assemble_received_tiles(tiles: Sequence[np.ndarray], n_cols_total: int) -> np.ndarray:
+    """Concatenate pre-transposed tiles (one per source rank) column-wise.
+
+    After the all-to-all, rank *d* holds, from each source *s*, the
+    pre-transposed tile whose columns are the *rows* ``s`` owned.  Stacking
+    them left-to-right in source order yields this rank's row block of the
+    transposed matrix.
+    """
+    if not tiles:
+        raise ValueError("no tiles to assemble")
+    out = np.concatenate(list(tiles), axis=1)
+    if out.shape[1] != n_cols_total:
+        raise ValueError(
+            f"assembled {out.shape[1]} columns, expected {n_cols_total}"
+        )
+    return np.ascontiguousarray(out)

@@ -1,0 +1,136 @@
+"""Fast Fourier transform kernels (ISSPL-style).
+
+The CSPI benchmarks linked against the vendor's ISSPL math library; we supply
+our own implementation: an iterative radix-2 decimation-in-time FFT,
+vectorised across a batch dimension so that "FFT all rows of a matrix" — the
+building block of the parallel 2D FFT — is a single call.  Results are
+validated against ``numpy.fft`` in the test suite; ``numpy`` remains available
+as a fast backend for large benchmark runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "bit_reverse_permutation",
+    "fft",
+    "ifft",
+    "fft_rows",
+    "ifft_rows",
+    "fft2d",
+    "ifft2d",
+]
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses ``log2(n)``-bit indices."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"n must be a positive power of two, got {n}")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+def _fft_impl(x: np.ndarray, inverse: bool) -> np.ndarray:
+    """Iterative radix-2 DIT FFT along the last axis of a 2-D array."""
+    rows, n = x.shape
+    if n & (n - 1):
+        raise ValueError(f"FFT length must be a power of two, got {n}")
+    out = np.ascontiguousarray(x[:, bit_reverse_permutation(n)], dtype=np.complex128)
+    sign = 1.0 if inverse else -1.0
+    length = 2
+    while length <= n:
+        half = length // 2
+        # Twiddle factors for this stage.
+        w = np.exp(sign * 2j * math.pi * np.arange(half) / length)
+        blocks = out.reshape(rows, n // length, length)
+        even = blocks[:, :, :half]
+        odd = blocks[:, :, half:] * w
+        upper = even + odd
+        lower = even - odd
+        blocks[:, :, :half] = upper
+        blocks[:, :, half:] = lower
+        length *= 2
+    if inverse:
+        out /= n
+    return out
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """Complex FFT of a 1-D array (power-of-two length)."""
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"fft expects a 1-D array, got shape {x.shape}")
+    return _fft_impl(x[np.newaxis, :], inverse=False)[0]
+
+
+def ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse complex FFT of a 1-D array."""
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"ifft expects a 1-D array, got shape {x.shape}")
+    return _fft_impl(x[np.newaxis, :], inverse=True)[0]
+
+
+def fft_rows(x: np.ndarray, backend: str = "own") -> np.ndarray:
+    """FFT every row of a 2-D array.
+
+    ``backend='own'`` uses the radix-2 implementation above (the default, and
+    what the correctness tests exercise); ``backend='numpy'`` delegates to
+    ``numpy.fft.fft`` for speed in large benchmark sweeps — the modeled cost
+    charged by the simulator is identical either way.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"fft_rows expects a 2-D array, got shape {x.shape}")
+    if backend == "own":
+        return _fft_impl(x, inverse=False)
+    if backend == "numpy":
+        return np.fft.fft(x, axis=1)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def ifft_rows(x: np.ndarray, backend: str = "own") -> np.ndarray:
+    """Inverse FFT of every row of a 2-D array."""
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"ifft_rows expects a 2-D array, got shape {x.shape}")
+    if backend == "own":
+        return _fft_impl(x, inverse=True)
+    if backend == "numpy":
+        return np.fft.ifft(x, axis=1)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def fft2d(x: np.ndarray, backend: str = "own") -> np.ndarray:
+    """Full 2-D FFT: row pass, transpose (corner turn), column-as-row pass.
+
+    Mirrors the distributed algorithm's structure exactly so the single-node
+    reference and the parallel version are the same arithmetic.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"fft2d expects a 2-D array, got shape {x.shape}")
+    step1 = fft_rows(x, backend=backend)
+    turned = np.ascontiguousarray(step1.T)
+    step2 = fft_rows(turned, backend=backend)
+    return np.ascontiguousarray(step2.T)
+
+
+def ifft2d(x: np.ndarray, backend: str = "own") -> np.ndarray:
+    """Inverse 2-D FFT (row pass, corner turn, column pass)."""
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"ifft2d expects a 2-D array, got shape {x.shape}")
+    step1 = ifft_rows(x, backend=backend)
+    turned = np.ascontiguousarray(step1.T)
+    step2 = ifft_rows(turned, backend=backend)
+    return np.ascontiguousarray(step2.T)

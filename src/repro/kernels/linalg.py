@@ -1,0 +1,84 @@
+"""Dense linear-algebra kernels for the ISSPL shelf.
+
+Blocked matrix multiply and related primitives, each with the flop count the
+performance model charges.  Validated against numpy in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .signal import KernelInfo, register_kernel
+
+__all__ = ["matmul", "matmul_blocked", "outer", "matvec", "cholesky_flops"]
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain matrix multiply with shape checking."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    return a @ b
+
+
+def matmul_blocked(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Cache-blocked matrix multiply (identical result, tiled access)."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if block <= 0:
+        raise ValueError("block must be positive")
+    m, k = a.shape
+    _, n = b.shape
+    out = np.zeros((m, n), dtype=np.result_type(a, b))
+    for i0 in range(0, m, block):
+        i1 = min(i0 + block, m)
+        for j0 in range(0, n, block):
+            j1 = min(j0 + block, n)
+            for l0 in range(0, k, block):
+                l1 = min(l0 + block, k)
+                out[i0:i1, j0:j1] += a[i0:i1, l0:l1] @ b[l0:l1, j0:j1]
+    return out
+
+
+def matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix-vector product."""
+    a, x = np.asarray(a), np.asarray(x)
+    if a.ndim != 2 or x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise ValueError(f"bad matvec shapes: {a.shape} x {x.shape}")
+    return a @ x
+
+
+def outer(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Outer product (covariance estimation building block)."""
+    x, y = np.asarray(x), np.asarray(y)
+    if x.ndim != 1 or y.ndim != 1:
+        raise ValueError("outer expects 1-D operands")
+    return np.outer(x, np.conj(y))
+
+
+def cholesky_flops(n: int) -> float:
+    """Flop count of an n x n Cholesky factorisation (n^3/3)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return n**3 / 3.0
+
+
+register_kernel(
+    KernelInfo(
+        "matmul",
+        matmul,
+        # n elements of output at ~2k flops each is not expressible from a
+        # single size; charge per output element assuming square operands.
+        lambda n: 2.0 * n * (n ** 0.5),
+        "dense matrix multiply",
+    )
+)
+register_kernel(KernelInfo("matvec", matvec, lambda n: 2.0 * n, "matrix-vector product"))
+register_kernel(KernelInfo("outer", outer, lambda n: 6.0 * n, "outer product"))

@@ -1,0 +1,193 @@
+"""ISSPL-style signal processing primitives.
+
+The CSPI port of SAGE captured "the ISSPL function libraries on to the
+appropriate shelves" (§3.2).  This module supplies the shelf contents: the
+vector/window/filter primitives a radar or image chain composes, each with a
+flop count used by the performance model.  Every function is a pure numpy
+computation validated against scipy in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "vadd",
+    "vmul",
+    "vsmul",
+    "vmag2",
+    "dot",
+    "fir_filter",
+    "hanning_window",
+    "hamming_window",
+    "blackman_window",
+    "apply_window",
+    "magnitude_db",
+    "KernelInfo",
+    "KERNEL_REGISTRY",
+    "register_kernel",
+    "get_kernel",
+]
+
+
+def vadd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise vector add."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a + b
+
+
+def vmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise vector multiply."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a * b
+
+
+def vsmul(a: np.ndarray, s: complex) -> np.ndarray:
+    """Vector-scalar multiply."""
+    return np.asarray(a) * s
+
+
+def vmag2(a: np.ndarray) -> np.ndarray:
+    """Elementwise squared magnitude (detection)."""
+    a = np.asarray(a)
+    return (a * np.conj(a)).real
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> complex:
+    """Inner product."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return complex(np.dot(np.conj(a), b))
+
+
+def fir_filter(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Direct-form FIR filter, 'same' alignment with zero history.
+
+    Output ``y[i] = sum_k taps[k] * x[i-k]`` (x treated as zero for i-k < 0),
+    matching ``scipy.signal.lfilter(taps, 1, x)``.
+    """
+    x, taps = np.asarray(x, dtype=np.complex128), np.asarray(taps, dtype=np.complex128)
+    if x.ndim != 1 or taps.ndim != 1:
+        raise ValueError("fir_filter expects 1-D signal and taps")
+    if taps.size == 0:
+        raise ValueError("taps must be non-empty")
+    full = np.convolve(x, taps)
+    return full[: x.size]
+
+
+def hanning_window(n: int) -> np.ndarray:
+    """Periodic-symmetric Hann window of length n (matches numpy.hanning)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2 * math.pi * k / (n - 1))
+
+
+def hamming_window(n: int) -> np.ndarray:
+    """Hamming window of length n (matches numpy.hamming)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2 * math.pi * k / (n - 1))
+
+
+def blackman_window(n: int) -> np.ndarray:
+    """Blackman window of length n (matches numpy.blackman)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    t = 2 * math.pi * k / (n - 1)
+    return 0.42 - 0.5 * np.cos(t) + 0.08 * np.cos(2 * t)
+
+
+def apply_window(x: np.ndarray, window: np.ndarray) -> np.ndarray:
+    """Apply a window along the last axis (broadcasts over leading axes)."""
+    x, window = np.asarray(x), np.asarray(window)
+    if x.shape[-1] != window.shape[0]:
+        raise ValueError(
+            f"window length {window.shape[0]} != signal length {x.shape[-1]}"
+        )
+    return x * window
+
+
+def magnitude_db(x: np.ndarray, floor_db: float = -300.0) -> np.ndarray:
+    """20*log10(|x|) with a numerical floor."""
+    mag = np.abs(np.asarray(x))
+    floor = 10.0 ** (floor_db / 20.0)
+    return 20.0 * np.log10(np.maximum(mag, floor))
+
+
+# ---------------------------------------------------------------------------
+# Kernel registry: the "software shelf" contents the glue code binds against.
+# Each entry carries a flop-count model consumed by the run-time.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """A shelf entry: callable plus its analytic flop count.
+
+    ``flops(total_elems)`` maps the number of elements processed to real
+    floating-point operations for the performance model.
+    """
+
+    name: str
+    fn: Callable
+    flops: Callable[[int], float]
+    description: str = ""
+
+
+KERNEL_REGISTRY: Dict[str, KernelInfo] = {}
+
+
+def register_kernel(info: KernelInfo) -> KernelInfo:
+    """Add a kernel to the shelf; name collisions are an error."""
+    if info.name in KERNEL_REGISTRY:
+        raise ValueError(f"kernel {info.name!r} already registered")
+    KERNEL_REGISTRY[info.name] = info
+    return info
+
+
+def get_kernel(name: str) -> KernelInfo:
+    try:
+        return KERNEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; shelf has: {sorted(KERNEL_REGISTRY)}"
+        ) from None
+
+
+def _log2(n: int) -> float:
+    return math.log2(n) if n > 1 else 0.0
+
+
+register_kernel(KernelInfo("vadd", vadd, lambda n: 2.0 * n, "complex vector add"))
+register_kernel(KernelInfo("vmul", vmul, lambda n: 6.0 * n, "complex vector multiply"))
+register_kernel(KernelInfo("vsmul", vsmul, lambda n: 6.0 * n, "vector-scalar multiply"))
+register_kernel(KernelInfo("vmag2", vmag2, lambda n: 3.0 * n, "squared magnitude"))
+register_kernel(
+    KernelInfo("apply_window", apply_window, lambda n: 6.0 * n, "window multiply")
+)
+register_kernel(
+    KernelInfo(
+        "fft_row",
+        None,  # bound by the runtime to kernels.fft.fft_rows
+        lambda n: 5.0 * n * _log2(n),
+        "per-row complex FFT (flops per row of length n)",
+    )
+)

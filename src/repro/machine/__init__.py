@@ -1,0 +1,46 @@
+"""Simulated hardware substrate: discrete-event engine, nodes, fabrics, platforms."""
+
+from .simulator import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    SimulationError,
+    Store,
+    Timeout,
+)
+from .node import CpuSpec, SimNode
+from .interconnect import Fabric, FabricSpec, LinkSpec
+from .cluster import SimCluster
+from .platforms import PLATFORMS, PlatformSpec, cspi, get_platform, mercury, sigi, sky
+from . import perfmodel
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "CpuSpec",
+    "SimNode",
+    "Fabric",
+    "FabricSpec",
+    "LinkSpec",
+    "SimCluster",
+    "PLATFORMS",
+    "PlatformSpec",
+    "cspi",
+    "mercury",
+    "sigi",
+    "sky",
+    "get_platform",
+    "perfmodel",
+]

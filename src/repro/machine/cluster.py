@@ -1,0 +1,91 @@
+"""Simulated cluster: nodes + fabric bound to one simulation environment.
+
+A :class:`SimCluster` is the substrate everything above it runs on.  It can be
+built directly from a :class:`~repro.machine.platforms.PlatformSpec` (the
+common path for the paper's experiments) or from a SAGE hardware model
+(:func:`repro.core.model.hardware.build_cluster`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .interconnect import Fabric, FabricSpec
+from .node import CpuSpec, SimNode
+from .platforms import PlatformSpec
+from .simulator import Environment
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """``nodes`` simulated processors over a shared fabric.
+
+    ``cpu`` may be a single :class:`CpuSpec` (homogeneous machine, the
+    common case) or a sequence of per-node specs (heterogeneous machine —
+    AToT's mapping objectives account for the differing node speeds).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cpu: Union[CpuSpec, Sequence[CpuSpec]],
+        fabric_spec: FabricSpec,
+        nodes: int,
+        board_map: Optional[Dict[int, int]] = None,
+        name: str = "cluster",
+    ):
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        self.env = env
+        self.name = name
+        boards = board_map or {i: 0 for i in range(nodes)}
+        missing = set(range(nodes)) - set(boards)
+        if missing:
+            raise ValueError(f"board_map missing node indices: {sorted(missing)}")
+        if isinstance(cpu, CpuSpec):
+            specs: List[CpuSpec] = [cpu] * nodes
+        else:
+            specs = list(cpu)
+            if len(specs) != nodes:
+                raise ValueError(
+                    f"{len(specs)} CPU specs supplied for a {nodes}-node cluster"
+                )
+        self.nodes: List[SimNode] = [
+            SimNode(index=i, spec=specs[i], env=env, board=boards[i])
+            for i in range(nodes)
+        ]
+        self.fabric = Fabric(env, fabric_spec, boards)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        first = self.nodes[0].spec
+        return any(node.spec != first for node in self.nodes)
+
+    @classmethod
+    def from_platform(
+        cls, env: Environment, platform: PlatformSpec, nodes: int
+    ) -> "SimCluster":
+        return cls(
+            env=env,
+            cpu=platform.cpu,
+            fabric_spec=platform.fabric,
+            nodes=nodes,
+            board_map=platform.board_map(nodes),
+            name=platform.name,
+        )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> SimNode:
+        try:
+            return self.nodes[index]
+        except IndexError:
+            raise IndexError(
+                f"node index {index} out of range for {len(self.nodes)}-node cluster"
+            ) from None
+
+    def transfer(self, src: int, dst: int, nbytes: float):
+        """Generator: fabric transfer between two node indices."""
+        yield from self.fabric.transfer(src, dst, nbytes)

@@ -1,0 +1,135 @@
+"""Interconnect fabric cost model.
+
+Models the 1999-era embedded fabrics the paper's benchmarks ran on:
+Myrinet (CSPI), RACEway (Mercury), SKYchannel (SKY).  A fabric is a set of
+point-to-point *links* with latency, bandwidth, and per-message software
+overhead; each link is a simulator :class:`Resource`, so concurrent messages
+over the same link serialise (contention), while disjoint pairs proceed in
+parallel — the property that makes pairwise-exchange all-to-all algorithms
+profitable.
+
+Two locality tiers are modeled, matching the CSPI target machine description
+(§3.2): *intra-board* transfers between processors on the same quad-PPC board
+are faster than *inter-board* transfers across the Myrinet fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .simulator import Environment, Resource
+
+__all__ = ["LinkSpec", "FabricSpec", "Fabric"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Cost parameters for one class of link.
+
+    ``time(nbytes) = sw_overhead + latency + nbytes / bandwidth``
+    """
+
+    latency: float        # wire + switch latency, seconds
+    bandwidth: float      # bytes / second
+    sw_overhead: float    # per-message protocol/software cost, seconds
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0 or self.sw_overhead < 0:
+            raise ValueError("latency and sw_overhead must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.sw_overhead + self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Static description of an interconnect fabric."""
+
+    name: str
+    inter_board: LinkSpec
+    intra_board: LinkSpec
+    #: True if the fabric is a full crossbar (per-pair links); False models a
+    #: shared medium where all inter-board traffic contends on one resource.
+    crossbar: bool = True
+    #: Maximum simultaneous inter-board transfers when crossbar is False.
+    shared_channels: int = 1
+
+    def link_for(self, same_board: bool) -> LinkSpec:
+        return self.intra_board if same_board else self.inter_board
+
+
+class Fabric:
+    """A fabric instance bound to a simulation environment.
+
+    ``transfer(src, dst, nbytes)`` is a process generator charging the modeled
+    time on the (possibly contended) link between two node indices.
+    """
+
+    def __init__(self, env: Environment, spec: FabricSpec, boards: Dict[int, int]):
+        """``boards`` maps node index -> board index (locality tiers)."""
+        self.env = env
+        self.spec = spec
+        self.boards = dict(boards)
+        # Per-node injection/ejection ports: a node's NIC moves one message in
+        # each direction at a time (full duplex), so fan-out sends serialise
+        # at the sender — the property that makes pairwise-exchange all-to-all
+        # competitive with naive flooding.
+        self._inject: Dict[int, Resource] = {}
+        self._eject: Dict[int, Resource] = {}
+        self._shared: Resource = Resource(env, capacity=max(1, spec.shared_channels))
+
+    def same_board(self, src: int, dst: int) -> bool:
+        return self.boards.get(src) == self.boards.get(dst)
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Uncontended transfer time between two nodes."""
+        if src == dst:
+            # Loopback: charged by the caller as a memory copy, not here.
+            return 0.0
+        return self.spec.link_for(self.same_board(src, dst)).transfer_time(nbytes)
+
+    def _port(self, table: Dict[int, Resource], node: int) -> Resource:
+        port = table.get(node)
+        if port is None:
+            port = Resource(self.env, capacity=1)
+            table[node] = port
+        return port
+
+    def transfer(self, src: int, dst: int, nbytes: float):
+        """Generator: move ``nbytes`` from ``src`` to ``dst``, with contention.
+
+        Acquisition order is inject -> shared medium -> eject (a fixed
+        hierarchy, so concurrent transfers can never deadlock); the message
+        holds all its resources for the full wire time, modelling wormhole
+        head-of-line blocking.
+        """
+        duration = self.transfer_time(src, dst, nbytes)
+        if duration == 0.0:
+            return
+        inject = self._port(self._inject, src)
+        eject = self._port(self._eject, dst)
+        shared = (
+            self._shared
+            if (not self.spec.crossbar and not self.same_board(src, dst))
+            else None
+        )
+        yield inject.request()
+        try:
+            if shared is not None:
+                yield shared.request()
+            try:
+                yield eject.request()
+                try:
+                    yield self.env.timeout(duration)
+                finally:
+                    eject.release()
+            finally:
+                if shared is not None:
+                    shared.release()
+        finally:
+            inject.release()

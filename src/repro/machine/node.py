@@ -1,0 +1,126 @@
+"""Compute-node cost model.
+
+Models a single processor (e.g. the 200 MHz PowerPC 603e on the CSPI boards)
+as an analytic cost source: floating-point work is charged at a sustained
+MFLOPS rate, memory copies at a copy bandwidth, and every kernel invocation
+pays a fixed call overhead.  The node owns a :class:`~repro.machine.simulator.Resource`
+so that two threads mapped to the same processor serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .simulator import Environment, Resource
+
+__all__ = ["CpuSpec", "SimNode"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a processor's performance characteristics.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"PowerPC 603e"``.
+    clock_mhz:
+        Core clock in MHz.
+    mflops:
+        Sustained double-issue FP rate for FFT-like kernels, in MFLOP/s.
+        1999-era PPC 603e at 200 MHz sustained roughly 60-120 MFLOPS on
+        vendor FFT libraries; we use the vendor-library figure per platform.
+    copy_bw:
+        Memory-to-memory copy bandwidth in bytes/s.
+    call_overhead:
+        Fixed cost of invoking a library kernel, in seconds.
+    memory_bytes:
+        DRAM capacity (64 MB on the CSPI boards).
+    """
+
+    name: str
+    clock_mhz: float
+    mflops: float
+    copy_bw: float
+    call_overhead: float = 2e-6
+    memory_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.clock_mhz <= 0 or self.mflops <= 0 or self.copy_bw <= 0:
+            raise ValueError("CPU rates must be positive")
+        if self.call_overhead < 0:
+            raise ValueError("call_overhead must be non-negative")
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating point operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if flops == 0:
+            return 0.0
+        return self.call_overhead + flops / (self.mflops * 1e6)
+
+    def copy_time(self, nbytes: float) -> float:
+        """Seconds to copy ``nbytes`` through memory."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.call_overhead + nbytes / self.copy_bw
+
+
+@dataclass
+class SimNode:
+    """A processor instance inside a simulated cluster.
+
+    The ``cpu`` resource serialises all work charged to this node; memory
+    allocation is tracked so over-subscription raises, mirroring the 64 MB
+    limit of the paper's target boards.
+    """
+
+    index: int
+    spec: CpuSpec
+    env: Environment
+    board: int = 0
+    cpu: Resource = field(init=False)
+    _allocated: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        self.cpu = Resource(self.env, capacity=1)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    def allocate(self, nbytes: int) -> None:
+        """Account for a buffer allocation; raises MemoryError when full."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self._allocated + nbytes > self.spec.memory_bytes:
+            raise MemoryError(
+                f"node {self.index}: allocation of {nbytes} bytes exceeds "
+                f"{self.spec.memory_bytes} byte DRAM "
+                f"({self._allocated} already allocated)"
+            )
+        self._allocated += nbytes
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self._allocated:
+            raise ValueError("free() does not match outstanding allocations")
+        self._allocated -= nbytes
+
+    def compute(self, flops: float, label: Optional[str] = None):
+        """Generator: occupy the CPU for the modeled duration of ``flops``."""
+        duration = self.spec.compute_time(flops)
+        yield from self.cpu.use(duration)
+
+    def copy(self, nbytes: float, label: Optional[str] = None):
+        """Generator: occupy the CPU for a memory copy of ``nbytes``."""
+        duration = self.spec.copy_time(nbytes)
+        yield from self.cpu.use(duration)
+
+    def busy(self, seconds: float):
+        """Generator: occupy the CPU for an explicit duration."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        yield from self.cpu.use(seconds)

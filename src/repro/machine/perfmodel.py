@@ -1,0 +1,69 @@
+"""Analytic cost helpers shared by kernels, runtime, and benchmarks.
+
+The flop counts use the standard conventions of the FFT benchmarking
+literature (e.g. the MITRE/RT-HPC reports referenced by the paper):
+a complex length-N FFT is ``5 N log2 N`` real flops.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "fft_flops",
+    "fft2d_flops",
+    "fft_rows_flops",
+    "transpose_bytes",
+    "corner_turn_message_bytes",
+    "COMPLEX64_BYTES",
+    "COMPLEX128_BYTES",
+    "FLOAT32_BYTES",
+]
+
+COMPLEX64_BYTES = 8
+COMPLEX128_BYTES = 16
+FLOAT32_BYTES = 4
+
+
+def fft_flops(n: int) -> float:
+    """Real flops for one complex FFT of length ``n`` (5 N log2 N)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return 0.0
+    if n & (n - 1):
+        raise ValueError(f"FFT length must be a power of two, got {n}")
+    return 5.0 * n * math.log2(n)
+
+
+def fft_rows_flops(rows: int, n: int) -> float:
+    """Flops for ``rows`` independent length-``n`` FFTs."""
+    if rows < 0:
+        raise ValueError("rows must be non-negative")
+    return rows * fft_flops(n)
+
+
+def fft2d_flops(n: int) -> float:
+    """Flops for a full n x n 2D complex FFT (row pass + column pass)."""
+    return 2.0 * fft_rows_flops(n, n)
+
+
+def transpose_bytes(n: int, elem_bytes: int = COMPLEX64_BYTES) -> int:
+    """Bytes moved by an n x n corner turn (read once, write once -> count payload once)."""
+    if n <= 0 or elem_bytes <= 0:
+        raise ValueError("n and elem_bytes must be positive")
+    return n * n * elem_bytes
+
+
+def corner_turn_message_bytes(n: int, nodes: int, elem_bytes: int = COMPLEX64_BYTES) -> int:
+    """Payload of one all-to-all message in a distributed n x n corner turn.
+
+    With row-block distribution over ``nodes`` ranks, each rank sends each
+    other rank an (n/nodes) x (n/nodes) tile.
+    """
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    if n % nodes:
+        raise ValueError(f"matrix size {n} not divisible by node count {nodes}")
+    tile = n // nodes
+    return tile * tile * elem_bytes

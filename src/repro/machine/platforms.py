@@ -1,0 +1,142 @@
+"""Platform presets for the machines named in the paper.
+
+§3.1-3.2 names four COTS embedded HPC vendors benchmarked by MITRE:
+**CSPI** (the SAGE target: quad 200 MHz PowerPC 603e boards, 64 MB per CPU,
+160 MB/s Myrinet, VxWorks, vendor MPI + ISSPL), **Mercury** (RACEway),
+**SKY** (SKYchannel), and **SIGI**.  Exact microbenchmark numbers for these
+fabrics are not in the paper; the figures below are calibrated from the
+public era literature (RACEway 267 MB/s, SKYchannel 320 MB/s, Myrinet
+160 MB/s full duplex; sub-10 us put latencies) so that *relative* ordering
+and crossover shapes are faithful.  Absolute milliseconds are modeled, not
+measured — see EXPERIMENTS.md.
+
+The SAGE run-time overhead knobs (`dispatch_overhead`, glue buffer copies
+charged at ``copy_bw``) are what Table 1.0 measures; they are properties of
+the run-time, configured in :mod:`repro.core.runtime`, not of the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .interconnect import FabricSpec, LinkSpec
+from .node import CpuSpec
+
+__all__ = ["PlatformSpec", "PLATFORMS", "get_platform", "cspi", "mercury", "sky", "sigi"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A vendor platform: CPU spec + fabric spec + board topology rule."""
+
+    name: str
+    cpu: CpuSpec
+    fabric: FabricSpec
+    cpus_per_board: int
+    #: Which all-to-all algorithm the vendor's tuned MPI uses (§3.1: "each
+    #: vendor implemented their own version tailored to their hardware").
+    alltoall_algorithm: str = "pairwise"
+
+    def board_of(self, node_index: int) -> int:
+        return node_index // self.cpus_per_board
+
+    def board_map(self, nodes: int) -> Dict[int, int]:
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        return {i: self.board_of(i) for i in range(nodes)}
+
+
+def _ppc603e(mflops: float, copy_bw: float) -> CpuSpec:
+    return CpuSpec(
+        name="PowerPC 603e",
+        clock_mhz=200.0,
+        mflops=mflops,
+        copy_bw=copy_bw,
+        call_overhead=2e-6,
+        memory_bytes=64 * 1024 * 1024,
+    )
+
+
+def cspi() -> PlatformSpec:
+    """CSPI target machine of §3.2: 2 quad-PPC boards, Myrinet 160 MB/s."""
+    return PlatformSpec(
+        name="CSPI",
+        cpu=_ppc603e(mflops=90.0, copy_bw=180e6),
+        fabric=FabricSpec(
+            name="Myrinet",
+            inter_board=LinkSpec(latency=9e-6, bandwidth=160e6, sw_overhead=11e-6),
+            intra_board=LinkSpec(latency=2e-6, bandwidth=220e6, sw_overhead=6e-6),
+            crossbar=True,
+        ),
+        cpus_per_board=4,
+        alltoall_algorithm="pairwise",
+    )
+
+
+def mercury() -> PlatformSpec:
+    """Mercury RACE: PPC daughtercards on a 267 MB/s RACEway crossbar."""
+    return PlatformSpec(
+        name="Mercury",
+        cpu=_ppc603e(mflops=100.0, copy_bw=200e6),
+        fabric=FabricSpec(
+            name="RACEway",
+            inter_board=LinkSpec(latency=5e-6, bandwidth=267e6, sw_overhead=8e-6),
+            intra_board=LinkSpec(latency=1.5e-6, bandwidth=267e6, sw_overhead=5e-6),
+            crossbar=True,
+        ),
+        cpus_per_board=2,
+        alltoall_algorithm="direct",
+    )
+
+
+def sky() -> PlatformSpec:
+    """SKY: SKYchannel packet bus, 320 MB/s backplane."""
+    return PlatformSpec(
+        name="SKY",
+        cpu=_ppc603e(mflops=95.0, copy_bw=190e6),
+        fabric=FabricSpec(
+            name="SKYchannel",
+            inter_board=LinkSpec(latency=6e-6, bandwidth=320e6, sw_overhead=9e-6),
+            intra_board=LinkSpec(latency=2e-6, bandwidth=320e6, sw_overhead=6e-6),
+            crossbar=False,
+            shared_channels=4,
+        ),
+        cpus_per_board=4,
+        alltoall_algorithm="ring",
+    )
+
+
+def sigi() -> PlatformSpec:
+    """SIGI: modeled as a smaller shared-bus machine (weakest fabric)."""
+    return PlatformSpec(
+        name="SIGI",
+        cpu=_ppc603e(mflops=85.0, copy_bw=170e6),
+        fabric=FabricSpec(
+            name="SIGIbus",
+            inter_board=LinkSpec(latency=12e-6, bandwidth=120e6, sw_overhead=14e-6),
+            intra_board=LinkSpec(latency=3e-6, bandwidth=160e6, sw_overhead=8e-6),
+            crossbar=False,
+            shared_channels=2,
+        ),
+        cpus_per_board=4,
+        alltoall_algorithm="recursive_doubling",
+    )
+
+
+PLATFORMS = {
+    "cspi": cspi,
+    "mercury": mercury,
+    "sky": sky,
+    "sigi": sigi,
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a platform preset by case-insensitive name."""
+    try:
+        return PLATFORMS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

@@ -1,0 +1,479 @@
+"""Discrete-event simulation engine.
+
+A small, self-contained, SimPy-flavoured kernel used by every timed layer of
+the reproduction: the simulated cluster, the message-passing library, and the
+SAGE run-time.  Processes are Python generators that ``yield`` *events*; the
+:class:`Environment` advances a virtual clock and resumes processes when the
+events they wait on fire.
+
+Design notes
+------------
+* Events are totally ordered by ``(time, priority, sequence)`` so runs are
+  deterministic: two events scheduled for the same instant fire in schedule
+  order.
+* A process may yield:
+    - :class:`Timeout`     -- resume after a virtual delay,
+    - :class:`Event`       -- resume when someone triggers it,
+    - :class:`Process`     -- resume when the child process terminates
+      (its value is the child's return value),
+    - :class:`AllOf`       -- resume when every sub-event has fired.
+* :class:`Store` is an unbounded FIFO channel with blocking ``get``;
+  :class:`Resource` is a counted lock used to model link/bus contention.
+
+The engine never consults the wall clock; all time is virtual seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "Resource",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, with an optional value.  Callbacks
+    registered before the trigger run when it fires; callbacks registered
+    after it fired are scheduled immediately.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "triggered", "processed")
+
+    #: sentinel meaning "no value yet"
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self.triggered = False
+        self.processed = False
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception that will be raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run at the current instant.
+            self.env._schedule_callback(fn, self)
+        else:
+            self.callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a virtual delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self.triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends."""
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off at the current instant.
+        init = Event(env)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is not None and self.env._active_proc is not self:
+            # Detach from whatever it was waiting on.
+            target = self._target
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._target = None
+        kick = Event(self.env)
+        kick.triggered = True
+        kick._ok = True
+        kick._value = Interrupt(cause)
+        self.env._schedule(kick)
+        kick.callbacks = []
+        kick.add_callback(self._resume_interrupt)
+
+    # -- stepping --------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # finished in the meantime
+        self._step(event.value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        env = self.env
+        prev = env._active_proc
+        env._active_proc = self
+        try:
+            if throw:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            env._active_proc = prev
+            self.triggered = True
+            self._ok = True
+            self._value = stop.value
+            env._schedule(self)
+            return
+        except BaseException as exc:
+            env._active_proc = prev
+            self.triggered = True
+            self._ok = False
+            self._value = exc
+            if not self.callbacks:
+                env._active_proc = prev
+                raise
+            env._schedule(self)
+            return
+        env._active_proc = prev
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        if target.env is not env:
+            raise SimulationError("cannot wait on an event from another Environment")
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every sub-event has fired; value is the list of values."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev.value for ev in self.events])
+
+
+class AnyOf(Event):
+    """Fires when the first sub-event fires; value is ``(index, value)``.
+
+    Late stragglers are ignored (their values are simply dropped), so the
+    classic receive-with-timeout pattern is::
+
+        which, value = yield env.any_of([data_event, env.timeout(1.0)])
+        if which == 1: ...  # timed out
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("any_of needs at least one event")
+        for index, ev in enumerate(self.events):
+            ev.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int):
+        def on_child(event: Event) -> None:
+            if self.triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self.succeed((index, event.value))
+
+        return on_child
+
+
+class Environment:
+    """The simulation driver: virtual clock plus an event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Any] = []
+        self._seq = itertools.count()
+        self._active_proc: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> "AnyOf":
+        return AnyOf(self, events)
+
+    # -- scheduling internals ---------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event, None)
+        )
+
+    def _schedule_callback(self, fn: Callable, event: Event) -> None:
+        heapq.heappush(
+            self._queue, (self._now, 0, next(self._seq), event, fn)
+        )
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled entry."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event, single_cb = heapq.heappop(self._queue)
+        self._now = when
+        if single_cb is not None:
+            single_cb(event)
+            return
+        callbacks, event.callbacks = event.callbacks, None
+        event.processed = True
+        for cb in callbacks or ():
+            cb(event)
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain all events), a number (run up to that
+        virtual time), or an :class:`Event` (run until it fires, returning its
+        value / raising its exception).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before 'until' fired "
+                        "(deadlock: a process is waiting on an event nobody "
+                        "will trigger)"
+                    )
+                self.step()
+            if stop.ok:
+                return stop.value
+            raise stop.value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError("'until' is in the past")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+
+class Store:
+    """Unbounded FIFO channel with blocking ``get`` (and optional capacity)."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("capacity must be positive or None")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List[tuple] = []  # (event, item)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once the item is accepted."""
+        ev = Event(self.env)
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            self._putters.append((ev, item))
+            return ev
+        self._accept(item)
+        ev.succeed()
+        return ev
+
+    def get(self) -> Event:
+        """Return an event carrying the next item once one is available."""
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed(self.items.pop(0))
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    # -- internals --------------------------------------------------------
+    def _accept(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self.items.append(item)
+
+    def _drain_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            ev, item = self._putters.pop(0)
+            self._accept(item)
+            ev.succeed()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Resource:
+    """A counted lock: at most ``capacity`` holders at a time (FIFO queue)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when the caller holds the resource."""
+        ev = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use == 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.pop(0).succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """Generator helper: hold the resource for ``duration``."""
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()

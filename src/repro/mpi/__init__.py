@@ -1,0 +1,28 @@
+"""In-process message-passing library over the simulated cluster.
+
+Mirrors the vendor MPI implementations of the paper's target platforms:
+point-to-point (blocking and nonblocking), the standard collectives, and the
+vendor-tuned all-to-all algorithms that dominate the corner-turn benchmark.
+"""
+
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, Message, MpiWorld, Request
+from .errors import MpiError, RankError, TruncationError
+from .datatypes import copy_payload, payload_nbytes
+from . import collectives  # noqa: F401  (binds collective methods onto Communicator)
+from .vendor import ALGORITHMS, get_algorithm
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Message",
+    "MpiWorld",
+    "Request",
+    "MpiError",
+    "RankError",
+    "TruncationError",
+    "copy_payload",
+    "payload_nbytes",
+    "ALGORITHMS",
+    "get_algorithm",
+]

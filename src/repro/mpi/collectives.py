@@ -1,0 +1,314 @@
+"""Collective operations over the point-to-point layer.
+
+All collectives are sub-generators: call them as
+``result = yield from comm.bcast(data, root=0)``.  As in MPI, every rank of
+the world must call the same collectives in the same order; a private tag
+space keyed by a per-rank collective sequence number keeps concurrent
+collectives from cross-matching with user point-to-point traffic.
+
+Algorithms are the textbook ones the 1999-era vendor MPIs used:
+binomial-tree broadcast/reduce, dissemination barrier, linear scatter/gather
+from the root, ring allgather, and (for all-to-all) the vendor-specific
+algorithms in :mod:`repro.mpi.vendor` — §3.1 notes each vendor shipped its
+own tuned ``MPI_All_to_All`` because the corner-turn benchmark is dominated
+by it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .comm import Communicator
+from .errors import MpiError, RankError
+
+__all__ = ["REDUCE_OPS"]
+
+#: Base of the reserved collective tag space (user tags must stay below this).
+_COLL_TAG_BASE = 1 << 20
+
+#: op name -> (pairwise combiner, flops charged per element combined)
+REDUCE_OPS = {
+    "sum": (lambda a, b: a + b, 1.0),
+    "prod": (lambda a, b: a * b, 1.0),
+    "max": (lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b), 1.0),
+    "min": (lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b), 1.0),
+}
+
+
+def _coll_tag(comm: Communicator, op_id: int) -> int:
+    """Allocate the tag for this rank's next collective call."""
+    seq = getattr(comm, "_coll_seq", 0)
+    comm._coll_seq = seq + 1
+    return _COLL_TAG_BASE + (seq % (1 << 16)) * 32 + op_id
+
+
+def _check_root(comm: Communicator, root: int) -> None:
+    if not (0 <= root < comm.size):
+        raise RankError(f"root {root} out of range [0, {comm.size})")
+
+
+# ---------------------------------------------------------------------------
+# barrier: dissemination algorithm, ceil(log2 p) rounds
+# ---------------------------------------------------------------------------
+
+def barrier(comm: Communicator):
+    """Block until every rank has entered the barrier."""
+    tag = _coll_tag(comm, 0)
+    size, rank = comm.size, comm.rank
+    dist = 1
+    while dist < size:
+        dest = (rank + dist) % size
+        src = (rank - dist) % size
+        req = comm.isend(None, dest, tag=tag + 0)
+        yield from comm.recv(source=src, tag=tag + 0)
+        yield from req.wait()
+        dist *= 2
+    return None
+
+
+# ---------------------------------------------------------------------------
+# bcast: binomial tree rooted at `root`
+# ---------------------------------------------------------------------------
+
+def bcast(comm: Communicator, data: Any = None, root: int = 0):
+    """Broadcast ``data`` from ``root``; every rank returns the value."""
+    _check_root(comm, root)
+    tag = _coll_tag(comm, 1)
+    size = comm.size
+    vrank = (comm.rank - root) % size  # virtual rank: root becomes 0
+
+    # Receive phase: wait for the parent (clear-lowest-set-bit ancestor).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            data = yield from comm.recv(source=parent, tag=tag)
+            break
+        mask <<= 1
+    # Send phase: forward to children vrank+mask for descending mask.
+    mask >>= 1
+    while mask > 0:
+        child_v = vrank + mask
+        if child_v < size:
+            yield from comm.send(data, (child_v + root) % size, tag=tag)
+        mask >>= 1
+    return data
+
+
+# ---------------------------------------------------------------------------
+# scatter / gather: linear from/to root (what small embedded MPIs shipped)
+# ---------------------------------------------------------------------------
+
+def scatter(comm: Communicator, chunks: Optional[Sequence[Any]] = None, root: int = 0):
+    """Root distributes ``chunks[i]`` to rank ``i``; each rank returns its chunk."""
+    _check_root(comm, root)
+    tag = _coll_tag(comm, 2)
+    if comm.rank == root:
+        if chunks is None or len(chunks) != comm.size:
+            raise MpiError(
+                f"scatter root needs exactly {comm.size} chunks, "
+                f"got {None if chunks is None else len(chunks)}"
+            )
+        reqs = []
+        for dest, chunk in enumerate(chunks):
+            if dest == root:
+                continue
+            reqs.append(comm.isend(chunk, dest, tag=tag))
+        for req in reqs:
+            yield from req.wait()
+        # Local chunk still pays a copy (MPI semantics: buffers don't alias).
+        yield from comm.copy(_nbytes(chunks[root]))
+        return chunks[root]
+    data = yield from comm.recv(source=root, tag=tag)
+    return data
+
+
+def gather(comm: Communicator, data: Any, root: int = 0):
+    """Each rank contributes ``data``; root returns the list, others None."""
+    _check_root(comm, root)
+    tag = _coll_tag(comm, 3)
+    if comm.rank == root:
+        out: List[Any] = [None] * comm.size
+        yield from comm.copy(_nbytes(data))
+        out[root] = data
+        for _ in range(comm.size - 1):
+            msg = yield from comm.recv_msg(tag=tag)
+            out[msg.source] = msg.data
+        return out
+    yield from comm.send(data, root, tag=tag)
+    return None
+
+
+def allgather(comm: Communicator, data: Any):
+    """Ring allgather; every rank returns the list of all contributions."""
+    tag = _coll_tag(comm, 4)
+    size, rank = comm.size, comm.rank
+    out: List[Any] = [None] * size
+    out[rank] = data
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    current = data
+    for step in range(size - 1):
+        current = yield from comm.sendrecv(
+            current, dest=right, source=left, sendtag=tag, recvtag=tag
+        )
+        out[(rank - step - 1) % size] = current
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reduce / allreduce
+# ---------------------------------------------------------------------------
+
+def _combine(comm: Communicator, op: str, a: Any, b: Any):
+    try:
+        fn, flops_per_elem = REDUCE_OPS[op]
+    except KeyError:
+        raise MpiError(f"unknown reduce op {op!r}; available: {sorted(REDUCE_OPS)}") from None
+    n = a.size if isinstance(a, np.ndarray) else 1
+    yield from comm.compute(n * flops_per_elem)
+    return fn(a, b)
+
+
+def reduce(comm: Communicator, data: Any, op: str = "sum", root: int = 0):
+    """Binomial-tree reduction to ``root``; root returns the result, others None."""
+    _check_root(comm, root)
+    tag = _coll_tag(comm, 5)
+    size = comm.size
+    vrank = (comm.rank - root) % size
+    acc = data
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            yield from comm.send(acc, parent, tag=tag)
+            acc = None
+            break
+        partner_v = vrank | mask
+        if partner_v < size:
+            other = yield from comm.recv(source=(partner_v + root) % size, tag=tag)
+            acc = yield from _combine(comm, op, acc, other)
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+def allreduce(comm: Communicator, data: Any, op: str = "sum"):
+    """Recursive-doubling allreduce (power-of-two), else reduce+bcast."""
+    size = comm.size
+    if size & (size - 1) == 0 and size > 1:
+        tag = _coll_tag(comm, 6)
+        acc = data
+        mask = 1
+        while mask < size:
+            partner = comm.rank ^ mask
+            other = yield from comm.sendrecv(
+                acc, dest=partner, source=partner, sendtag=tag, recvtag=tag
+            )
+            # Combine in a fixed order so all ranks get bit-identical results.
+            lo, hi = (acc, other) if comm.rank < partner else (other, acc)
+            acc = yield from _combine(comm, op, lo, hi)
+            mask <<= 1
+        return acc
+    result = yield from reduce(comm, data, op=op, root=0)
+    result = yield from bcast(comm, result, root=0)
+    return result
+
+
+def scan(comm: Communicator, data: Any, op: str = "sum"):
+    """Inclusive prefix reduction: rank r returns op(data_0, ..., data_r).
+
+    Linear chain (rank r receives the prefix from r-1, combines, forwards) —
+    the implementation small embedded MPIs shipped.
+    """
+    tag = _coll_tag(comm, 7)
+    acc = data
+    if comm.rank > 0:
+        prefix = yield from comm.recv(source=comm.rank - 1, tag=tag)
+        acc = yield from _combine(comm, op, prefix, acc)
+    if comm.rank < comm.size - 1:
+        yield from comm.send(acc, comm.rank + 1, tag=tag)
+    return acc
+
+
+def reduce_scatter(comm: Communicator, blocks: Sequence[Any], op: str = "sum"):
+    """Reduce ``blocks[i]`` across ranks, scattering result ``i`` to rank ``i``.
+
+    Implemented as alltoall + local reduction (the classic bandwidth-optimal
+    structure for the corner-turn-plus-combine stages of STAP chains).
+    """
+    if len(blocks) != comm.size:
+        raise MpiError(f"reduce_scatter needs {comm.size} blocks, got {len(blocks)}")
+    received = yield from alltoall(comm, list(blocks))
+    acc = received[0]
+    for other in received[1:]:
+        acc = yield from _combine(comm, op, acc, other)
+    return acc
+
+
+def scatterv(comm: Communicator, chunks: Optional[Sequence[Any]] = None, root: int = 0):
+    """Variable-size scatter: like :func:`scatter` but chunks may differ in
+    size/shape (MPI_Scatterv).  Chunk count must still equal world size."""
+    result = yield from scatter(comm, chunks, root=root)
+    return result
+
+
+def gatherv(comm: Communicator, data: Any, root: int = 0):
+    """Variable-size gather (MPI_Gatherv); contributions may differ in size."""
+    result = yield from gather(comm, data, root=root)
+    return result
+
+
+def alltoallv(comm: Communicator, blocks: Sequence[Any], algorithm: str = "pairwise"):
+    """Variable-size all-to-all: blocks may differ per destination.
+
+    The vendor algorithms already carry per-message sizes from the payloads
+    themselves, so this shares their implementation; it exists as a separate
+    entry point to mirror the MPI API (and to document the intent).
+    """
+    result = yield from alltoall(comm, blocks, algorithm=algorithm)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# alltoall: dispatches to the vendor algorithm (see vendor.py)
+# ---------------------------------------------------------------------------
+
+def alltoall(comm: Communicator, blocks: Sequence[Any], algorithm: str = "pairwise"):
+    """Each rank sends ``blocks[d]`` to rank ``d``; returns the received list.
+
+    ``algorithm`` selects the vendor implementation (§3.1): ``direct``,
+    ``pairwise``, ``ring``, or ``recursive_doubling`` (Bruck).
+    """
+    from . import vendor  # late import to avoid a cycle
+
+    if len(blocks) != comm.size:
+        raise MpiError(f"alltoall needs {comm.size} blocks, got {len(blocks)}")
+    result = yield from vendor.get_algorithm(algorithm)(comm, list(blocks))
+    return result
+
+
+def _nbytes(data: Any) -> int:
+    from .datatypes import payload_nbytes
+
+    return payload_nbytes(data)
+
+
+# ---------------------------------------------------------------------------
+# Bind the collectives onto Communicator so user code reads naturally:
+#   yield from comm.bcast(...), yield from comm.alltoall(...)
+# ---------------------------------------------------------------------------
+
+def _bind(fn):
+    def method(self, *args, **kwargs):
+        return fn(self, *args, **kwargs)
+
+    method.__name__ = fn.__name__
+    method.__doc__ = fn.__doc__
+    return method
+
+
+for _fn in (barrier, bcast, scatter, gather, allgather, reduce, allreduce,
+            alltoall, scan, reduce_scatter, scatterv, gatherv, alltoallv):
+    setattr(Communicator, _fn.__name__, _bind(_fn))

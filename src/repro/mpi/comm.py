@@ -1,0 +1,396 @@
+"""Point-to-point message passing over the simulated cluster.
+
+The programming model mirrors mpi4py, adapted to the discrete-event engine:
+rank programs are *generators* and every communication call is either
+
+* a sub-generator used with ``yield from`` (blocking calls returning values),
+  e.g. ``data = yield from comm.recv(source=0)``, or
+* an immediate call returning a :class:`Request` whose ``wait()`` is itself a
+  sub-generator (nonblocking calls), e.g.::
+
+      req = comm.isend(x, dest=1)
+      ...
+      yield from req.wait()
+
+Timing model
+------------
+A message from rank *s* to rank *d* charges the fabric link between the two
+nodes (holding it, so concurrent messages over the same pair serialise) for
+``sw_overhead + latency + nbytes/bandwidth``.  Loopback messages (``s == d``)
+charge the node's memory-copy cost instead.  Blocking ``send`` returns once
+the payload is on the wire and buffered at the receiver (buffered-send
+semantics, like the small-message eager protocol of the vendor MPIs in §3.1);
+``recv`` blocks until a matching message has fully arrived.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..machine.cluster import SimCluster
+from ..machine.simulator import Environment, Event, Process
+from .datatypes import ANY_SOURCE, ANY_TAG, copy_payload, payload_nbytes
+from .errors import MpiError, RankError
+
+__all__ = ["Message", "Request", "Communicator", "MpiWorld", "ANY_SOURCE", "ANY_TAG"]
+
+
+class Message:
+    """An in-flight or buffered message."""
+
+    __slots__ = ("source", "dest", "tag", "data", "nbytes", "sent_at", "arrived_at")
+
+    def __init__(self, source: int, dest: int, tag: int, data: Any, sent_at: float):
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.data = data
+        self.nbytes = payload_nbytes(data)
+        self.sent_at = sent_at
+        self.arrived_at: Optional[float] = None
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class Request:
+    """Handle for a nonblocking operation; ``wait()`` is a sub-generator."""
+
+    def __init__(self, env: Environment, event: Event):
+        self._env = env
+        self._event = event
+
+    @property
+    def complete(self) -> bool:
+        return self._event.processed
+
+    def wait(self) -> Generator:
+        """Sub-generator: block until the operation finishes; returns its value."""
+        value = yield self._event
+        return value
+
+    def test(self) -> Tuple[bool, Any]:
+        """Nonblocking completion probe (flag, value-or-None)."""
+        if self._event.processed:
+            return True, self._event.value
+        return False, None
+
+    @staticmethod
+    def waitall(requests: List["Request"]) -> Generator:
+        """Sub-generator: wait for every request; returns their values."""
+        values = []
+        for req in requests:
+            values.append((yield from req.wait()))
+        return values
+
+
+class _Mailbox:
+    """Per-rank store of arrived-but-unmatched messages plus pending receivers."""
+
+    def __init__(self):
+        self.unexpected: List[Message] = []
+        # (source, tag, event) for receivers waiting on a match
+        self.waiting: List[Tuple[int, int, Event]] = []
+
+    def deliver(self, msg: Message) -> None:
+        for i, (source, tag, event) in enumerate(self.waiting):
+            if msg.matches(source, tag):
+                del self.waiting[i]
+                event.succeed(msg)
+                return
+        self.unexpected.append(msg)
+
+    def match(self, source: int, tag: int, event: Event) -> None:
+        for i, msg in enumerate(self.unexpected):
+            if msg.matches(source, tag):
+                del self.unexpected[i]
+                event.succeed(msg)
+                return
+        self.waiting.append((source, tag, event))
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending receive (timeout path)."""
+        self.waiting = [entry for entry in self.waiting if entry[2] is not event]
+
+    def probe(self, source: int, tag: int) -> Optional[Message]:
+        for msg in self.unexpected:
+            if msg.matches(source, tag):
+                return msg
+        return None
+
+
+class Communicator:
+    """One rank's endpoint into a communication context.
+
+    The world communicator has ``members=None`` (ranks are global node
+    indices, context 0); communicators produced by :meth:`split` carry a
+    member list mapping their dense local ranks onto global ranks, plus a
+    private context whose mailboxes are isolated from every other
+    communicator's traffic (so tags never collide across groups).
+    """
+
+    def __init__(self, world: "MpiWorld", rank: int,
+                 members: Optional[List[int]] = None, context: int = 0):
+        self.world = world
+        self.rank = rank
+        self.members = list(members) if members is not None else None
+        self.context = context
+        self.size = len(self.members) if self.members is not None else world.size
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # -- small helpers ----------------------------------------------------
+    @property
+    def env(self) -> Environment:
+        return self.world.env
+
+    @property
+    def global_rank(self) -> int:
+        """This endpoint's node index in the world."""
+        if self.members is None:
+            return self.rank
+        return self.members[self.rank]
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not (0 <= r < self.size):
+            raise RankError(f"{what} rank {r} out of range [0, {self.size})")
+
+    def _g(self, r: int) -> int:
+        """Local rank -> global rank (with range check)."""
+        self._check_rank(r, "peer")
+        return self.members[r] if self.members is not None else r
+
+    def _g_source(self, r: int) -> int:
+        return ANY_SOURCE if r == ANY_SOURCE else self._g(r)
+
+    def _localize(self, msg: Message) -> Message:
+        """Rewrite a received envelope's source into this comm's rank space."""
+        if self.members is not None:
+            msg.source = self.members.index(msg.source)
+        return msg
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, data: Any, dest: int, tag: int = 0) -> Generator:
+        """Blocking buffered send (sub-generator)."""
+        yield from self.world._send(
+            self.global_rank, self._g(dest), tag, data, comm=self, context=self.context
+        )
+
+    def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the transfer proceeds as a background process."""
+        dest_g = self._g(dest)
+        proc = self.env.process(
+            self.world._send(
+                self.global_rank, dest_g, tag, data, comm=self, context=self.context
+            ),
+            name=f"isend r{self.rank}->r{dest} tag{tag}",
+        )
+        return Request(self.env, proc)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive (sub-generator returning the payload)."""
+        msg = yield from self.world._recv(
+            self.global_rank, self._g_source(source), tag, self.context
+        )
+        return msg.data
+
+    def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Like :meth:`recv` but returns the full :class:`Message` envelope."""
+        msg = yield from self.world._recv(
+            self.global_rank, self._g_source(source), tag, self.context
+        )
+        return self._localize(msg)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; ``wait()`` returns the payload."""
+        done = self.env.event()
+        self.world._mailbox(self.global_rank, self.context).match(
+            self._g_source(source), tag, done
+        )
+
+        def unwrap():
+            msg = yield done
+            return msg.data
+
+        proc = self.env.process(unwrap(), name=f"irecv r{self.rank} tag{tag}")
+        return Request(self.env, proc)
+
+    def sendrecv(
+        self,
+        senddata: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Generator:
+        """Simultaneous send + receive (deadlock-free pair exchange)."""
+        req = self.isend(senddata, dest, tag=sendtag)
+        data = yield from self.recv(source=source, tag=recvtag)
+        yield from req.wait()
+        return data
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
+        """Nonblocking probe of the unexpected-message queue."""
+        return self.world._mailbox(self.global_rank, self.context).probe(
+            self._g_source(source), tag
+        )
+
+    def recv_timeout(
+        self, timeout: float, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator:
+        """Receive with a deadline (sub-generator).
+
+        Returns ``(data, True)`` when a matching message arrives within
+        ``timeout`` seconds, ``(None, False)`` otherwise.  On timeout the
+        pending receive is withdrawn, so a late message stays queued for the
+        next receive rather than vanishing.
+        """
+        if timeout <= 0:
+            raise MpiError("timeout must be positive")
+        done = self.env.event()
+        box = self.world._mailbox(self.global_rank, self.context)
+        box.match(self._g_source(source), tag, done)
+        which, value = yield self.env.any_of([done, self.env.timeout(timeout)])
+        if which == 0:
+            return value.data, True
+        if done.triggered:  # arrived at the same instant the clock expired
+            return done.value.data, True
+        box.cancel(done)
+        return None, False
+
+    # -- clock / node access -------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def compute(self, flops: float) -> Generator:
+        """Charge floating-point work to this rank's processor."""
+        yield from self.world.cluster.node(self.global_rank).compute(flops)
+
+    def copy(self, nbytes: float) -> Generator:
+        """Charge a local memory copy to this rank's processor."""
+        yield from self.world.cluster.node(self.global_rank).copy(nbytes)
+
+    # -- sub-communicators ------------------------------------------------------
+    def split(self, color: Optional[int], key: Optional[int] = None) -> Generator:
+        """Collective: partition this communicator by ``color`` (MPI_Comm_split).
+
+        Every rank must call it.  Ranks passing the same color form a new
+        communicator whose ranks are ordered by ``key`` (default: current
+        rank); a ``None`` color returns None (MPI_UNDEFINED).  Sub-generator::
+
+            row_comm = yield from comm.split(color=comm.rank // 4)
+        """
+        sort_key = self.rank if key is None else key
+        entries = yield from self.allgather((color, sort_key, self.global_rank))
+        if color is None:
+            return None
+        members = [
+            g for c, k, g in sorted(
+                (e for e in entries if e[0] == color), key=lambda e: (e[1], e[2])
+            )
+        ]
+        context = self.world._intern_context(
+            (self.context, color, tuple(members))
+        )
+        return Communicator(
+            self.world, members.index(self.global_rank), members=members,
+            context=context,
+        )
+
+    # -- collectives (implemented in collectives.py, bound here) -------------
+    # These are assigned at import time at the bottom of collectives.py to
+    # keep the two files separately readable; see that module for semantics.
+
+
+class MpiWorld:
+    """The set of ranks over a simulated cluster."""
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.size = len(cluster)
+        self._mailboxes: Dict[Tuple[int, int], _Mailbox] = {}
+        self._contexts: Dict[Any, int] = {}
+        self._procs: List[Process] = []
+        self.comms: List[Communicator] = [Communicator(self, r) for r in range(self.size)]
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    # -- rank management ----------------------------------------------------
+    def spawn(self, program: Callable[[Communicator], Generator], *args, **kwargs) -> None:
+        """Launch ``program(comm, *args, **kwargs)`` on every rank."""
+        for rank in range(self.size):
+            self.spawn_rank(rank, program, *args, **kwargs)
+
+    def spawn_rank(
+        self, rank: int, program: Callable[[Communicator], Generator], *args, **kwargs
+    ) -> Process:
+        """Launch a program on one rank only."""
+        if not (0 <= rank < self.size):
+            raise RankError(f"rank {rank} out of range [0, {self.size})")
+        gen = program(self.comms[rank], *args, **kwargs)
+        proc = self.env.process(gen, name=f"rank{rank}:{getattr(program, '__name__', 'prog')}")
+        self._procs.append(proc)
+        return proc
+
+    def run(self, until: Any = None) -> List[Any]:
+        """Run the simulation until all spawned rank programs finish.
+
+        Returns the per-rank return values in spawn order.
+        """
+        if not self._procs:
+            raise MpiError("no rank programs spawned")
+        done = self.env.all_of(self._procs)
+        if until is None:
+            values = self.env.run(until=done)
+        else:
+            self.env.run(until=until)
+            if not done.processed:
+                raise MpiError("rank programs did not finish before 'until'")
+            values = done.value
+        return values
+
+    # -- internals ------------------------------------------------------------
+    def _mailbox(self, rank: int, context: int = 0) -> _Mailbox:
+        key = (rank, context)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = _Mailbox()
+            self._mailboxes[key] = box
+        return box
+
+    def _intern_context(self, key: Any) -> int:
+        """A deterministic context id shared by all members of a split."""
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = len(self._contexts) + 1
+            self._contexts[key] = ctx
+        return ctx
+
+    def _send(self, src: int, dest: int, tag: int, data: Any,
+              comm: Communicator, context: int = 0):
+        if not (0 <= dest < self.size):
+            raise RankError(f"destination rank {dest} out of range [0, {self.size})")
+        msg = Message(src, dest, tag, copy_payload(data), sent_at=self.env.now)
+        comm.bytes_sent += msg.nbytes
+        comm.messages_sent += 1
+        self.total_bytes += msg.nbytes
+        self.total_messages += 1
+        if src == dest:
+            # Loopback: one memory copy on the local node.
+            yield from self.cluster.node(src).copy(msg.nbytes)
+        else:
+            yield from self.cluster.transfer(src, dest, msg.nbytes)
+        msg.arrived_at = self.env.now
+        self._mailbox(dest, context).deliver(msg)
+
+    def _recv(self, rank: int, source: int, tag: int, context: int = 0):
+        if source != ANY_SOURCE and not (0 <= source < self.size):
+            raise RankError(f"source rank {source} out of range [0, {self.size})")
+        done = self.env.event()
+        self._mailbox(rank, context).match(source, tag, done)
+        msg = yield done
+        return msg

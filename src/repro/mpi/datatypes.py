@@ -1,0 +1,48 @@
+"""Payload handling for the message-passing layer.
+
+Payloads are numpy arrays (the fast path, sized by ``nbytes``) or arbitrary
+picklable Python objects (sized by a pessimistic pickle estimate).  Messages
+always deliver *copies*, matching MPI semantics: mutating the send buffer
+after the call never aliases the receiver's data.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_nbytes", "copy_payload", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcards for receive matching (mirror MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def payload_nbytes(data: Any) -> int:
+    """Wire size of a payload in bytes."""
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if type(data).__name__ == "PhantomArray":  # timing-mode payloads
+        return int(data.nbytes)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return len(data)
+    if data is None:
+        return 0
+    try:
+        return len(pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        # Unpicklable control object: charge a token-sized header.
+        return 64
+
+
+def copy_payload(data: Any) -> Any:
+    """Deep-enough copy for message delivery (value semantics)."""
+    if isinstance(data, np.ndarray):
+        return np.array(data, copy=True)
+    if type(data).__name__ == "PhantomArray":  # immutable metadata-only payload
+        return data
+    if isinstance(data, (int, float, complex, str, bytes, bool, type(None))):
+        return data
+    return pickle.loads(pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL))

@@ -1,0 +1,15 @@
+"""Error types for the message-passing layer."""
+
+__all__ = ["MpiError", "RankError", "TruncationError"]
+
+
+class MpiError(RuntimeError):
+    """Base class for message-passing failures."""
+
+
+class RankError(MpiError):
+    """A rank index was out of range for the communicator."""
+
+
+class TruncationError(MpiError):
+    """A receive buffer was too small for the matched message."""

@@ -1,0 +1,143 @@
+"""Tests for the Alter language extensions: named let, hash tables, string ops."""
+
+import pytest
+
+from repro.core.alter import AlterRuntimeError, Interpreter, Symbol
+
+
+@pytest.fixture
+def interp():
+    return Interpreter()
+
+
+class TestNamedLet:
+    def test_simple_loop(self, interp):
+        src = """
+        (let loop ((i 0) (acc 0))
+          (if (= i 5) acc (loop (+ i 1) (+ acc i))))
+        """
+        assert interp.run(src) == 10
+
+    def test_tail_recursive_named_let_deep(self, interp):
+        src = """
+        (let count ((n 50000))
+          (if (= n 0) "done" (count (- n 1))))
+        """
+        assert interp.run(src) == "done"
+
+    def test_named_let_over_model_traversal(self, interp):
+        src = """
+        (define (count-positive lst)
+          (let walk ((rest lst) (n 0))
+            (cond ((null? rest) n)
+                  ((> (car rest) 0) (walk (cdr rest) (+ n 1)))
+                  (else (walk (cdr rest) n)))))
+        (count-positive '(1 -2 3 0 4))
+        """
+        assert interp.run(src) == 3
+
+    def test_named_let_shadows_outer_binding(self, interp):
+        src = """
+        (define loop 99)
+        (let loop ((i 2)) (if (= i 0) "ok" (loop (- i 1))))
+        """
+        assert interp.run(src) == "ok"
+        assert interp.run("loop") == 99
+
+    def test_plain_let_still_works(self, interp):
+        assert interp.run("(let ((x 1) (y 2)) (+ x y))") == 3
+
+    def test_named_let_bad_bindings(self, interp):
+        with pytest.raises(AlterRuntimeError):
+            interp.run("(let loop 5 6)")
+
+
+class TestHashTables:
+    def test_basic_ops(self, interp):
+        src = """
+        (define h (make-hash))
+        (hash-set! h "a" 1)
+        (hash-set! h "b" 2)
+        (list (hash-ref h "a") (hash-ref h "b") (hash-count h))
+        """
+        assert interp.run(src) == [1, 2, 2]
+
+    def test_default_and_missing(self, interp):
+        interp.run("(define h (make-hash))")
+        assert interp.run('(hash-ref h "nope" 42)') == 42
+        with pytest.raises(AlterRuntimeError, match="missing key"):
+            interp.run('(hash-ref h "nope")')
+
+    def test_has_and_remove(self, interp):
+        interp.run('(define h (make-hash)) (hash-set! h "k" 1)')
+        assert interp.run('(hash-has? h "k")') is True
+        interp.run('(hash-remove! h "k")')
+        assert interp.run('(hash-has? h "k")') is False
+
+    def test_update(self, interp):
+        src = """
+        (define counts (make-hash))
+        (for-each
+          (lambda (w) (hash-update! counts w (lambda (n) (+ n 1)) 0))
+          '("a" "b" "a" "a"))
+        (list (hash-ref counts "a") (hash-ref counts "b"))
+        """
+        assert interp.run(src) == [3, 1]
+
+    def test_keys_sorted(self, interp):
+        interp.run('(define h (make-hash)) (hash-set! h "z" 1) (hash-set! h "a" 2)')
+        assert interp.run("(hash-keys h)") == ["a", "z"]
+
+    def test_hash_to_alist(self, interp):
+        interp.run('(define h (make-hash)) (hash-set! h "x" 9)')
+        assert interp.run("(hash->alist h)") == [["x", 9]]
+
+    def test_hash_predicate(self, interp):
+        assert interp.run("(hash? (make-hash))") is True
+        assert interp.run("(hash? '(1 2))") is False
+
+    def test_type_errors(self, interp):
+        with pytest.raises(AlterRuntimeError):
+            interp.run('(hash-set! 5 "k" 1)')
+        with pytest.raises(AlterRuntimeError):
+            interp.run('(hash-ref "notahash" "k")')
+
+    def test_grouping_model_use_case(self, interp):
+        """The realistic codegen use: group function instances by kernel."""
+        from repro.apps import fft2d_model
+
+        interp.globals.define("model", fft2d_model(64, 4))
+        src = """
+        (define by-kernel (make-hash))
+        (for-each
+          (lambda (inst)
+            (hash-update! by-kernel (instance-kernel inst)
+                          (lambda (lst) (cons (instance-path inst) lst)) '()))
+          (function-instances model))
+        (hash-keys by-kernel)
+        """
+        assert interp.run(src) == [
+            "fft_cols", "fft_rows", "matrix_sink", "matrix_source"
+        ]
+
+
+class TestStringExtensions:
+    def test_split(self, interp):
+        assert interp.run('(string-split "a,b,c" ",")') == ["a", "b", "c"]
+        assert interp.run('(string-split "a b  c")') == ["a", "b", "c"]
+
+    def test_contains_and_index(self, interp):
+        assert interp.run('(string-contains? "hello" "ell")') is True
+        assert interp.run('(string-contains? "hello" "xyz")') is False
+        assert interp.run('(string-index "hello" "llo")') == 2
+        assert interp.run('(string-index "hello" "z")') == -1
+
+    def test_replace_trim_repeat(self, interp):
+        assert interp.run('(string-replace "a-b-c" "-" "_")') == "a_b_c"
+        assert interp.run('(string-trim "  x  ")') == "x"
+        assert interp.run('(string-repeat "ab" 3)') == "ababab"
+
+    def test_string_to_number(self, interp):
+        assert interp.run('(string->number "42")') == 42
+        assert interp.run('(string->number "2.5")') == 2.5
+        assert interp.run('(string->number "nope")') is False

@@ -1,0 +1,173 @@
+"""AToT architecture-trade-study and simulated-annealing tests."""
+
+import pytest
+
+from repro.apps import corner_turn_model, fft2d_model
+from repro.core.atot import (
+    AnnealConfig,
+    GaConfig,
+    MappingProblem,
+    Requirements,
+    architecture_trade_study,
+    format_trade_study,
+    genetic_algorithm,
+    simulated_annealing,
+)
+from repro.core.model import round_robin_mapping
+from repro.machine import cspi
+
+FAST_GA = GaConfig(population=16, generations=5, seed=1)
+
+
+def builder(nodes):
+    return fft2d_model(256, nodes)
+
+
+class TestTradeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return architecture_trade_study(
+            builder(4),
+            Requirements(),
+            node_counts=(2, 4, 8),
+            ga_config=FAST_GA,
+            app_builder=builder,
+        )
+
+    def test_all_candidates_evaluated(self, result):
+        assert len(result.candidates) == 4 * 3  # platforms x node counts
+
+    def test_more_nodes_lower_latency_higher_cost(self, result):
+        cspi_points = {c.nodes: c for c in result.candidates if c.platform == "CSPI"}
+        assert cspi_points[8].est_latency < cspi_points[2].est_latency
+        assert cspi_points[8].cost > cspi_points[2].cost
+
+    def test_pareto_front_nonempty_and_consistent(self, result):
+        front = result.pareto
+        assert front
+        for a in front:
+            assert not any(b.dominates(a) for b in result.candidates)
+
+    def test_latency_requirement_filters(self):
+        tight = architecture_trade_study(
+            builder(4),
+            Requirements(max_latency=1e-6),  # impossible
+            node_counts=(2, 4),
+            ga_config=FAST_GA,
+            app_builder=builder,
+        )
+        assert not tight.feasible
+        assert tight.recommended is None
+        assert all("latency" in v for c in tight.candidates for v in c.violations)
+
+    def test_cost_budget_respected(self):
+        result = architecture_trade_study(
+            builder(4),
+            Requirements(max_cost=60.0),  # k$: excludes big node counts
+            node_counts=(2, 4, 8),
+            ga_config=FAST_GA,
+            app_builder=builder,
+        )
+        rec = result.recommended
+        assert rec is not None
+        assert rec.cost <= 60.0
+
+    def test_max_nodes_prunes_candidates(self):
+        result = architecture_trade_study(
+            builder(2),
+            Requirements(max_nodes=2),
+            node_counts=(2, 4, 8),
+            ga_config=FAST_GA,
+            app_builder=builder,
+        )
+        assert all(c.nodes <= 2 for c in result.candidates)
+
+    def test_recommended_is_cheapest_feasible(self, result):
+        rec = result.recommended
+        assert rec is not None
+        assert all(rec.cost <= c.cost for c in result.feasible if c.pareto_optimal)
+
+    def test_formatting(self, result):
+        text = format_trade_study(result)
+        assert "recommended:" in text
+        assert "CSPI" in text and "Mercury" in text
+
+    def test_invalid_requirements(self):
+        with pytest.raises(ValueError):
+            Requirements(max_latency=-1)
+        with pytest.raises(ValueError):
+            Requirements(max_nodes=0)
+
+    def test_fixed_app_skips_unmappable_node_counts(self):
+        # threads=4 model cannot stripe over... still fits any node count
+        # (mapping just folds), so all candidates appear.
+        app = corner_turn_model(64, 4)
+        result = architecture_trade_study(
+            app, node_counts=(2, 4), ga_config=FAST_GA
+        )
+        assert {c.nodes for c in result.candidates} == {2, 4}
+
+
+class TestSimulatedAnnealing:
+    def test_finds_trivial_optimum(self):
+        result = simulated_annealing(
+            8, 4, lambda ch: float(sum(ch)),
+            AnnealConfig(steps=3000, seed=2),
+        )
+        assert result.best_fitness <= 2.0  # near-zero on an easy landscape
+
+    def test_history_monotone_best(self):
+        result = simulated_annealing(
+            6, 3, lambda ch: float(sum(ch)), AnnealConfig(steps=500, seed=3)
+        )
+        assert all(b <= a for a, b in zip(result.history, result.history[1:]))
+
+    def test_deterministic(self):
+        fit = lambda ch: float(sum((g - 1) ** 2 for g in ch))
+        r1 = simulated_annealing(5, 4, fit, AnnealConfig(steps=400, seed=4))
+        r2 = simulated_annealing(5, 4, fit, AnnealConfig(steps=400, seed=4))
+        assert r1.best == r2.best and r1.history == r2.history
+
+    def test_start_seed_never_lost(self):
+        result = simulated_annealing(
+            4, 4, lambda ch: float(sum(ch)),
+            AnnealConfig(steps=50, seed=5),
+            start=(0, 0, 0, 0),
+        )
+        assert result.best_fitness == 0.0
+
+    def test_acceptance_rate_sane(self):
+        result = simulated_annealing(
+            6, 4, lambda ch: float(sum(ch)), AnnealConfig(steps=1000, seed=6)
+        )
+        assert 0.0 < result.acceptance_rate <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnnealConfig(steps=0)
+        with pytest.raises(ValueError):
+            AnnealConfig(t_start=0.1, t_end=1.0)
+        with pytest.raises(ValueError):
+            simulated_annealing(0, 4, lambda ch: 0.0)
+
+    def test_bad_start_length(self):
+        with pytest.raises(ValueError, match="start has"):
+            simulated_annealing(4, 2, lambda ch: 0.0, start=(1,))
+
+    def test_comparable_to_ga_on_mapping_problem(self):
+        """Both search strategies find mappings at least as good as the
+        round-robin seed on the real objective."""
+        app = fft2d_model(128, 4)
+        problem = MappingProblem(app, cspi(), 4)
+        seed = problem.encode(round_robin_mapping(app, 4))
+        ga = genetic_algorithm(
+            len(problem.slots), 4, problem.fitness,
+            GaConfig(population=20, generations=10, seed=7), seeds=[seed],
+        )
+        sa = simulated_annealing(
+            len(problem.slots), 4, problem.fitness,
+            AnnealConfig(steps=800, seed=7), start=seed,
+        )
+        seed_fit = problem.fitness(seed)
+        assert ga.best_fitness <= seed_fit + 1e-12
+        assert sa.best_fitness <= seed_fit + 1e-12

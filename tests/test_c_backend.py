@@ -1,0 +1,81 @@
+"""C-glue backend tests: the Alter scripts must emit structurally correct C."""
+
+import re
+
+import pytest
+
+from repro.apps import benchmark_mapping, corner_turn_model, fft2d_model
+from repro.core.codegen import generate_c_glue
+from repro.core.model import ModelError, round_robin_mapping
+
+
+@pytest.fixture(scope="module")
+def c_source():
+    app = fft2d_model(256, 4)
+    return generate_c_glue(app, benchmark_mapping(app, 4), num_processors=4)
+
+
+class TestCGlue:
+    def test_banner_and_defines(self, c_source):
+        assert c_source.startswith("/* === SAGE auto-generated glue code (C backend)")
+        assert '#include "sage_runtime.h"' in c_source
+        assert "#define SAGE_NUM_PROCESSORS 4" in c_source
+        assert "#define SAGE_NUM_FUNCTIONS 4" in c_source
+        assert "#define SAGE_NUM_BUFFERS 3" in c_source
+
+    def test_function_table_entries(self, c_source):
+        assert "sage_function_desc_t sage_function_table[SAGE_NUM_FUNCTIONS]" in c_source
+        for kernel in ("matrix_source", "fft_rows", "fft_cols", "matrix_sink"):
+            assert f"sage_kernel_{kernel}" in c_source
+        # IDs appear in order
+        ids = re.findall(r"\{ /\* id \*/ (\d+),", c_source)
+        assert ids[:4] == ["0", "1", "2", "3"]
+
+    def test_buffer_table_striding_info(self, c_source):
+        assert "sage_logical_buffer_t sage_buffer_table[SAGE_NUM_BUFFERS]" in c_source
+        assert "SAGE_STRIPED" in c_source
+        # total size before striding for the 256x256 complex64 matrix
+        assert f"{256 * 256 * 8}UL" in c_source
+
+    def test_thread_map_rows(self, c_source):
+        rows = re.findall(r"\{ (\d+), (\d+), (\d+) \},", c_source)
+        assert len(rows) == 16  # 4 functions x 4 threads
+        assert ("1", "2", "2") in rows  # rowfft thread 2 on cpu 2
+
+    def test_registration_entry_point(self, c_source):
+        assert "int sage_register_model(sage_runtime_t *rt)" in c_source
+        assert "sage_runtime_load" in c_source
+
+    def test_balanced_braces(self, c_source):
+        assert c_source.count("{") == c_source.count("}")
+
+    def test_replicated_and_cyclic_codes(self):
+        from repro.core.model import (
+            ApplicationModel,
+            DataType,
+            FunctionBlock,
+            REPLICATED,
+            cyclic,
+        )
+
+        t = DataType("m", "complex64", (8, 8))
+        app = ApplicationModel("codes")
+        src = app.add_block(FunctionBlock("src", kernel="matrix_source"))
+        src.add_out("out", t, REPLICATED)
+        snk = app.add_block(FunctionBlock("snk", kernel="matrix_sink", threads=2))
+        snk.add_in("in", t, cyclic(0))
+        app.connect(src.port("out"), snk.port("in"))
+        source = generate_c_glue(app, round_robin_mapping(app, 2), num_processors=2)
+        assert "SAGE_REPLICATED" in source
+        assert "SAGE_CYCLIC" in source
+
+    def test_validation_still_applies(self):
+        app = corner_turn_model(64, 4)
+        with pytest.raises(ModelError):
+            generate_c_glue(app, benchmark_mapping(app, 4), num_processors=2)
+
+    def test_deterministic(self):
+        app1, app2 = corner_turn_model(64, 4), corner_turn_model(64, 4)
+        s1 = generate_c_glue(app1, benchmark_mapping(app1, 4), num_processors=4)
+        s2 = generate_c_glue(app2, benchmark_mapping(app2, 4), num_processors=4)
+        assert s1 == s2

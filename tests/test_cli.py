@@ -1,0 +1,117 @@
+"""CLI tests for ``python -m repro``."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.apps import benchmark_mapping, fft2d_model
+from repro.core.model import cspi_hardware, save_design
+
+
+@pytest.fixture
+def design_path(tmp_path):
+    app = fft2d_model(32, 2)
+    path = str(tmp_path / "design.json")
+    save_design(path, app, hardware=cspi_hardware(2),
+                mapping=benchmark_mapping(app, 2))
+    return path
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "SAGE reproduction" in out
+
+
+def test_platforms(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    for vendor in ("CSPI", "Mercury", "SKY", "SIGI"):
+        assert vendor in out
+    assert "pairwise" in out
+
+
+def test_kernels(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "fft_rows" in out
+    assert "[radar]" in out
+
+
+def test_generate_to_stdout(design_path, capsys):
+    assert main(["generate", design_path]) == 0
+    out = capsys.readouterr().out
+    assert "SAGE auto-generated glue code" in out
+    assert "FUNCTION_TABLE" in out
+
+
+def test_generate_to_file(design_path, tmp_path, capsys):
+    out_path = str(tmp_path / "glue.py")
+    assert main(["generate", design_path, "-o", out_path, "--optimized"]) == 0
+    text = open(out_path).read()
+    assert "OPTIMIZE_BUFFERS = True" in text
+
+
+def test_run_design(design_path, capsys):
+    assert main(["run", design_path, "--iterations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Visualizer run report" in out
+    assert "mean latency" in out
+
+
+def test_run_with_platform_override(design_path, capsys):
+    assert main(["run", design_path, "--platform", "mercury",
+                 "--nodes", "2", "--iterations", "1"]) == 0
+    assert "timeline" in capsys.readouterr().out
+
+
+def test_experiment_passthrough(capsys):
+    assert main(["period-latency"]) == 0
+    out = capsys.readouterr().out
+    assert "period vs latency" in out
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+@pytest.fixture
+def sage_text_path(tmp_path):
+    path = tmp_path / "design.sage"
+    path.write_text(
+        """
+application text_ct
+datatype cm complex64 32x32
+block src kernel=matrix_source threads=2
+  out out cm striped(0)
+block turn kernel=block_transpose threads=2
+  in in cm striped(1)
+  out out cm striped(0)
+block sink kernel=matrix_sink threads=2
+  in in cm striped(0)
+connect src.out -> turn.in
+connect turn.out -> sink.in
+"""
+    )
+    return str(path)
+
+
+def test_generate_from_text_format(sage_text_path, capsys):
+    assert main(["generate", sage_text_path, "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "MODEL_NAME = 'text_ct'" in out
+
+
+def test_run_from_text_format(sage_text_path, capsys):
+    assert main(["run", sage_text_path, "--nodes", "2", "--iterations", "1"]) == 0
+    assert "Visualizer run report" in capsys.readouterr().out
+
+
+def test_generate_text_format_requires_nodes(sage_text_path, capsys):
+    assert main(["generate", sage_text_path]) == 2
+    assert "pass --nodes" in capsys.readouterr().err
+
+
+def test_code_size_experiment_passthrough(capsys):
+    assert main(["code-size"]) == 0
+    assert "hand rank pgm" in capsys.readouterr().out

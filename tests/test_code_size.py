@@ -1,0 +1,63 @@
+"""Tests for the §3 code-size experiment."""
+
+import pytest
+
+from repro.experiments.code_size import (
+    count_sloc,
+    format_code_size,
+    run_code_size,
+)
+
+
+class TestCountSloc:
+    def test_counts_code_lines_only(self):
+        text = '''
+# a comment
+
+x = 1
+y = 2  # trailing comment still code
+'''
+        assert count_sloc(text) == 2
+
+    def test_function_docstring_excluded(self):
+        def sample():
+            """This docstring
+            spans lines and is documentation."""
+            a = 1
+            return a
+
+        assert count_sloc(sample) == 3  # def + two body lines
+
+    def test_plain_text(self):
+        assert count_sloc("a\n\nb\n# c\n") == 2
+
+
+class TestCodeSizeStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_code_size(n=256, nodes=4)
+
+    def test_both_benchmarks_present(self, rows):
+        assert [r.app for r in rows] == ["2D FFT", "Corner Turn"]
+
+    def test_model_comparable_or_smaller_than_hand(self, rows):
+        """§3: 'comparable ... in code size' — the Designer capture is no
+        larger than the hand rank program (and in practice smaller)."""
+        for r in rows:
+            assert 0 < r.model_sloc <= r.hand_sloc
+            assert 0.1 < r.developer_ratio <= 1.0
+
+    def test_glue_is_substantial_but_generated(self, rows):
+        for r in rows:
+            assert r.glue_sloc > r.model_sloc  # the tool writes more than the user
+
+    def test_glue_scales_with_nodes(self):
+        small = {r.app: r.glue_sloc for r in run_code_size(n=256, nodes=2)}
+        big = {r.app: r.glue_sloc for r in run_code_size(n=256, nodes=8)}
+        for app in small:
+            assert big[app] > small[app]  # bigger thread maps
+
+    def test_formatting(self, rows):
+        text = format_code_size(rows)
+        assert "hand rank pgm" in text
+        assert "Corner Turn" in text

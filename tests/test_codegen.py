@@ -1,0 +1,168 @@
+"""Glue-code generator tests: the Alter scripts must emit loadable Python
+source whose tables faithfully mirror the model."""
+
+import pytest
+
+from repro.core.codegen import GlueModule, generate_glue, load_glue_source
+from repro.core.model import (
+    ApplicationModel,
+    DataType,
+    FunctionBlock,
+    ModelError,
+    REPLICATED,
+    round_robin_mapping,
+    striped,
+)
+
+MTYPE = DataType("m", "complex64", (64, 64))
+
+
+def build_app(threads=4, n=64):
+    t = DataType("m", "complex64", (n, n))
+    app = ApplicationModel("fft2d")
+    src = app.add_block(
+        FunctionBlock("src", kernel="matrix_source", params={"n": n, "seed": 1})
+    )
+    src.add_out("out", t, striped(0))
+    rowfft = app.add_block(FunctionBlock("rowfft", kernel="fft_rows", threads=threads))
+    rowfft.add_in("in", t, striped(0))
+    rowfft.add_out("out", t, striped(0))
+    colfft = app.add_block(FunctionBlock("colfft", kernel="fft_cols", threads=threads))
+    colfft.add_in("in", t, striped(1))
+    colfft.add_out("out", t, striped(1))
+    sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink"))
+    sink.add_in("in", t, REPLICATED)
+    app.connect(src.port("out"), rowfft.port("in"))
+    app.connect(rowfft.port("out"), colfft.port("in"))
+    app.connect(colfft.port("out"), sink.port("in"))
+    return app
+
+
+@pytest.fixture
+def glue():
+    app = build_app()
+    return generate_glue(app, round_robin_mapping(app, 4), num_processors=4)
+
+
+class TestGeneratedSource:
+    def test_source_is_python_and_reloadable(self, glue):
+        ns = load_glue_source(glue.source)
+        assert ns["MODEL_NAME"] == "fft2d"
+
+    def test_header_banner(self, glue):
+        assert glue.source.startswith("# === SAGE auto-generated glue code")
+        assert "Alter" in glue.source.splitlines()[1]
+
+    def test_function_table_matches_model(self, glue):
+        table = glue.function_table
+        assert [e["id"] for e in table] == [0, 1, 2, 3]
+        assert [e["name"] for e in table] == ["src", "rowfft", "colfft", "sink"]
+        assert table[1]["kernel"] == "fft_rows"
+        assert table[1]["threads"] == 4
+        assert table[0]["params"] == {"n": 64, "seed": 1}
+
+    def test_logical_buffers_carry_striding_info(self, glue):
+        bufs = glue.logical_buffers
+        assert len(bufs) == 3
+        turn = bufs[1]  # rowfft -> colfft
+        assert turn["name"] == "rowfft.out->colfft.in"
+        assert turn["src_striping"] == {"kind": "striped", "axis": 0, "block": 1}
+        assert turn["dst_striping"] == {"kind": "striped", "axis": 1, "block": 1}
+        assert turn["shape"] == (64, 64)
+        assert turn["elem_bytes"] == 8
+        assert turn["total_bytes"] == 64 * 64 * 8  # size *before* striding
+        assert turn["src_threads"] == turn["dst_threads"] == 4
+
+    def test_thread_map_covers_all_threads(self, glue):
+        # 1 + 4 + 4 + 1 threads
+        assert len(glue.thread_map) == 10
+        assert glue.processor_of(1, 2) == 2
+        assert glue.processor_of(0, 0) == 0
+
+    def test_probes_enter_exit_per_instance(self, glue):
+        assert "enter:rowfft" in glue.probes
+        assert "exit:sink" in glue.probes
+        assert len(glue.probes) == 8
+
+    def test_execution_order_is_topological(self, glue):
+        assert glue.execution_order == [0, 1, 2, 3]
+
+    def test_optimize_flag_default_off(self, glue):
+        assert glue.optimize_buffers is False
+
+    def test_optimize_flag_on(self):
+        app = build_app()
+        g = generate_glue(
+            app, round_robin_mapping(app, 4), num_processors=4, optimize_buffers=True
+        )
+        assert g.optimize_buffers is True
+        assert "OPTIMIZE_BUFFERS = True" in g.source
+
+
+class TestGeneratorChecks:
+    def test_invalid_model_rejected(self):
+        app = ApplicationModel("bad")
+        blk = app.add_block(FunctionBlock("b", kernel="k"))
+        blk.add_in("in", MTYPE)  # dangling input
+        with pytest.raises(ModelError):
+            generate_glue(app, round_robin_mapping(app, 2), num_processors=2)
+
+    def test_mapping_out_of_range_rejected(self):
+        app = build_app(threads=4)
+        mapping = round_robin_mapping(app, 8)
+        with pytest.raises(ModelError, match="hardware has only"):
+            generate_glue(app, mapping, num_processors=2)
+
+    def test_extra_scripts_appended(self):
+        app = build_app()
+        extra = [("custom", '(emit-line "CUSTOM_SECTION = " (py-repr "yes"))')]
+        glue = generate_glue(
+            app, round_robin_mapping(app, 4), num_processors=4, extra_scripts=extra
+        )
+        assert glue.namespace["CUSTOM_SECTION"] == "yes"
+
+    def test_broken_extra_script_reported_with_name(self):
+        app = build_app()
+        with pytest.raises(ModelError, match="glue script 'broken'"):
+            generate_glue(
+                app,
+                round_robin_mapping(app, 4),
+                num_processors=4,
+                extra_scripts=[("broken", "(undefined-fn)")],
+            )
+
+    def test_missing_globals_detected(self):
+        with pytest.raises(ModelError, match="missing globals"):
+            load_glue_source("MODEL_NAME = 'x'\n")
+
+    def test_save_writes_file(self, glue, tmp_path):
+        path = tmp_path / "glue.py"
+        glue.save(str(path))
+        assert path.read_text() == glue.source
+
+    def test_string_params_escaped_correctly(self):
+        app = ApplicationModel("esc")
+        src = app.add_block(
+            FunctionBlock("src", kernel="matrix_source", params={"label": "it's \"x\""})
+        )
+        src.add_out("out", MTYPE)
+        snk = app.add_block(FunctionBlock("snk", kernel="matrix_sink"))
+        snk.add_in("in", MTYPE)
+        app.connect(src.port("out"), snk.port("in"))
+        glue = generate_glue(app, round_robin_mapping(app, 1), num_processors=1)
+        assert glue.function_table[0]["params"]["label"] == "it's \"x\""
+
+
+class TestDeterminism:
+    def test_same_model_same_source(self):
+        app1, app2 = build_app(), build_app()
+        g1 = generate_glue(app1, round_robin_mapping(app1, 4), num_processors=4)
+        g2 = generate_glue(app2, round_robin_mapping(app2, 4), num_processors=4)
+        assert g1.source == g2.source
+
+    def test_different_mapping_changes_only_thread_map(self):
+        app = build_app()
+        g1 = generate_glue(app, round_robin_mapping(app, 4), num_processors=4)
+        g2 = generate_glue(app, round_robin_mapping(app, 2), num_processors=4)
+        assert g1.function_table == g2.function_table
+        assert g1.thread_map != g2.thread_map

@@ -1,0 +1,127 @@
+"""Heterogeneous-machine tests: per-node CPU specs through the cluster, the
+run-time, and AToT's mapping objectives (§1.1: AToT 'assigns the application
+tasks to the multi-processor, heterogeneous architecture')."""
+
+import pytest
+
+from repro.apps import benchmark_mapping, corner_turn_model, fft2d_model
+from repro.core.atot import GaConfig, MappingObjective, optimize_mapping
+from repro.core.codegen import generate_glue
+from repro.core.model import round_robin_mapping
+from repro.core.runtime import DEFAULT_CONFIG, SageRuntime
+from repro.machine import CpuSpec, Environment, SimCluster, cspi
+
+
+FAST_CPU = CpuSpec(name="fast", clock_mhz=400, mflops=180, copy_bw=360e6)
+SLOW_CPU = CpuSpec(name="slow", clock_mhz=100, mflops=45, copy_bw=90e6)
+
+
+def mixed_cluster(env, nodes=4):
+    specs = [FAST_CPU if i % 2 == 0 else SLOW_CPU for i in range(nodes)]
+    return SimCluster(
+        env=env,
+        cpu=specs,
+        fabric_spec=cspi().fabric,
+        nodes=nodes,
+        board_map=cspi().board_map(nodes),
+        name="mixed",
+    )
+
+
+class TestHeterogeneousCluster:
+    def test_per_node_specs(self):
+        cluster = mixed_cluster(Environment())
+        assert cluster.is_heterogeneous
+        assert cluster.node(0).spec is FAST_CPU
+        assert cluster.node(1).spec is SLOW_CPU
+
+    def test_homogeneous_flag(self):
+        env = Environment()
+        cluster = SimCluster.from_platform(env, cspi(), 4)
+        assert not cluster.is_heterogeneous
+
+    def test_spec_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="CPU specs"):
+            SimCluster(
+                env=Environment(),
+                cpu=[FAST_CPU, SLOW_CPU],
+                fabric_spec=cspi().fabric,
+                nodes=4,
+            )
+
+    def test_slow_node_takes_longer(self):
+        env = Environment()
+        cluster = mixed_cluster(env)
+        ends = {}
+
+        def work(idx):
+            yield from cluster.node(idx).compute(90e6)
+            ends[idx] = env.now
+
+        env.process(work(0))
+        env.process(work(1))
+        env.run()
+        assert ends[1] > ends[0] * 3  # 45 vs 180 MFLOPS
+
+
+class TestHeterogeneousRuntime:
+    def test_fft_latency_dominated_by_slow_nodes(self):
+        """The same glue on a mixed machine is slower than on all-fast."""
+        n, nodes = 256, 4
+        app = fft2d_model(n, nodes)
+        glue = generate_glue(app, benchmark_mapping(app, nodes), num_processors=nodes)
+
+        def run(specs):
+            env = Environment()
+            cluster = SimCluster(
+                env=env, cpu=specs, fabric_spec=cspi().fabric, nodes=nodes,
+                board_map=cspi().board_map(nodes),
+            )
+            runtime = SageRuntime(glue, cluster, config=DEFAULT_CONFIG.timing_only())
+            return runtime.run(iterations=2).mean_latency
+
+        all_fast = run([FAST_CPU] * nodes)
+        mixed = run([FAST_CPU, FAST_CPU, SLOW_CPU, SLOW_CPU])
+        all_slow = run([SLOW_CPU] * nodes)
+        assert all_fast < mixed <= all_slow
+        # The corner turn synchronises every stage, so with equal-sized
+        # stripes the slow nodes set the pace entirely: the mixed machine
+        # performs like the all-slow one (the load-balancing motivation for
+        # AToT's speed-aware objective).
+        assert mixed == pytest.approx(all_slow, rel=1e-6)
+
+
+class TestHeterogeneousObjectives:
+    def test_loads_measured_in_seconds(self):
+        app = fft2d_model(256, 4)
+        specs = [FAST_CPU, FAST_CPU, SLOW_CPU, SLOW_CPU]
+        obj = MappingObjective(app, cspi(), 4, cpu_specs=specs)
+        bd = obj.breakdown(round_robin_mapping(app, 4))
+        # Equal flops per node but unequal speeds: imbalance > 1.
+        assert bd.load_imbalance > 1.5
+
+    def test_homogeneous_specs_equivalent_to_default(self):
+        app = fft2d_model(256, 4)
+        obj_a = MappingObjective(app, cspi(), 4)
+        obj_b = MappingObjective(app, cspi(), 4, cpu_specs=[cspi().cpu] * 4)
+        m = round_robin_mapping(app, 4)
+        assert obj_a.fitness(m) == pytest.approx(obj_b.fitness(m))
+
+    def test_spec_count_checked(self):
+        app = fft2d_model(256, 4)
+        with pytest.raises(ValueError):
+            MappingObjective(app, cspi(), 4, cpu_specs=[FAST_CPU])
+
+    def test_ga_shifts_load_off_slow_nodes(self):
+        """On a 2-fast/2-slow machine, the GA should beat round-robin (which
+        ignores node speeds) on the seconds-weighted objective."""
+        app = corner_turn_model(256, 4)
+        specs = [FAST_CPU, FAST_CPU, SLOW_CPU, SLOW_CPU]
+        result = optimize_mapping(
+            app, cspi(), 4,
+            config=GaConfig(population=40, generations=30, seed=3),
+            cpu_specs=specs,
+        )
+        obj = MappingObjective(app, cspi(), 4, cpu_specs=specs)
+        rr = obj.fitness(round_robin_mapping(app, 4))
+        assert result.fitness < rr

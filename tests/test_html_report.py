@@ -1,0 +1,87 @@
+"""HTML report + Request.waitall tests."""
+
+import pytest
+
+from repro.apps import benchmark_mapping, fft2d_model
+from repro.core.codegen import generate_glue
+from repro.core.runtime import DEFAULT_CONFIG, SageRuntime
+from repro.core.visualizer import render_html_report
+from repro.machine import Environment, SimCluster, cspi
+from repro.mpi import MpiWorld, Request
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    nodes = 4
+    app = fft2d_model(64, nodes)
+    glue = generate_glue(app, benchmark_mapping(app, nodes), num_processors=nodes)
+    env = Environment()
+    cluster = SimCluster.from_platform(env, cspi(), nodes)
+    runtime = SageRuntime(glue, cluster, config=DEFAULT_CONFIG.timing_only())
+    return runtime.run(iterations=2)
+
+
+class TestHtmlReport:
+    def test_standalone_document(self, run_result):
+        doc = render_html_report(run_result, processors=4)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.endswith("</html>")
+        assert "<svg" in doc and "</svg>" in doc
+        assert "http" not in doc  # no external assets
+
+    def test_one_lane_per_processor(self, run_result):
+        doc = render_html_report(run_result, processors=4)
+        for p in range(4):
+            assert f">P{p}</text>" in doc
+
+    def test_bars_for_every_span_with_tooltips(self, run_result):
+        doc = render_html_report(run_result, processors=4)
+        spans = run_result.trace.spans()
+        assert doc.count("<rect") == len(spans)
+        # one tooltip per bar, plus the document <title>
+        assert doc.count("<title>") == len(spans) + 1
+        assert "rowfft" in doc
+
+    def test_stats_present(self, run_result):
+        doc = render_html_report(run_result, processors=4)
+        assert "mean latency" in doc
+        assert "Processor utilization" in doc
+        assert "Function busy time" in doc
+
+    def test_escapes_title(self, run_result):
+        doc = render_html_report(run_result, processors=4, title="<script>x</script>")
+        assert "<script>x</script>" not in doc
+        assert "&lt;script&gt;" in doc
+
+
+class TestWaitall:
+    def test_waitall_collects_values(self):
+        env = Environment()
+        world = MpiWorld(SimCluster.from_platform(env, cspi(), 2))
+
+        def sender(comm):
+            reqs = [comm.isend(i, dest=1, tag=i) for i in range(5)]
+            yield from Request.waitall(reqs)
+            return "sent"
+
+        def receiver(comm):
+            got = []
+            for i in range(5):
+                got.append((yield from comm.recv(source=0, tag=i)))
+            return got
+
+        world.spawn_rank(0, sender)
+        p = world.spawn_rank(1, receiver)
+        world.env.run(until=p)
+        assert p.value == [0, 1, 2, 3, 4]
+
+    def test_waitall_empty(self):
+        env = Environment()
+        world = MpiWorld(SimCluster.from_platform(env, cspi(), 1))
+
+        def prog(comm):
+            values = yield from Request.waitall([])
+            return values
+
+        world.spawn(prog)
+        assert world.run() == [[]]

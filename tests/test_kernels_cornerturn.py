@@ -1,0 +1,132 @@
+"""Corner-turn kernel tests: blocked transpose and distributed tile algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    assemble_received_tiles,
+    extract_send_tiles,
+    local_transpose,
+    row_block_bounds,
+    split_row_block,
+)
+
+
+class TestLocalTranspose:
+    @pytest.mark.parametrize("shape", [(1, 1), (4, 4), (64, 64), (65, 3), (7, 130)])
+    def test_matches_numpy(self, shape):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=shape)
+        np.testing.assert_array_equal(local_transpose(x), x.T)
+
+    @pytest.mark.parametrize("block", [1, 2, 16, 1000])
+    def test_block_size_irrelevant_to_result(self, block):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(33, 17))
+        np.testing.assert_array_equal(local_transpose(x, block=block), x.T)
+
+    def test_returns_new_contiguous_array(self):
+        x = np.arange(12).reshape(3, 4)
+        t = local_transpose(x)
+        assert t.flags["C_CONTIGUOUS"]
+        x[0, 0] = 99
+        assert t[0, 0] == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            local_transpose(np.zeros(4))
+        with pytest.raises(ValueError):
+            local_transpose(np.zeros((2, 2)), block=0)
+
+
+class TestRowBlockBounds:
+    def test_even_division(self):
+        assert row_block_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread_over_leading_blocks(self):
+        assert row_block_bounds(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_parts_than_rows(self):
+        bounds = row_block_bounds(2, 4)
+        sizes = [b - a for a, b in bounds]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            row_block_bounds(4, 0)
+        with pytest.raises(ValueError):
+            row_block_bounds(-1, 2)
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, n, parts):
+        bounds = row_block_bounds(n, parts)
+        assert len(bounds) == parts
+        # contiguous cover of [0, n)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (a1, b1), (a2, _) in zip(bounds, bounds[1:]):
+            assert b1 == a2
+        # balanced: sizes differ by at most one
+        sizes = [b - a for a, b in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDistributedTileAlgebra:
+    @pytest.mark.parametrize("n,p", [(8, 2), (8, 4), (16, 4), (12, 3), (10, 4)])
+    def test_tiles_reassemble_to_global_transpose(self, n, p):
+        """The full distributed corner-turn data path, done locally:
+        split -> extract tiles -> 'exchange' -> assemble == global transpose."""
+        rng = np.random.default_rng(n * p)
+        x = rng.normal(size=(n, n))
+        blocks = split_row_block(x, p)
+        tiles = [extract_send_tiles(blk, p) for blk in blocks]  # tiles[s][d]
+        col_bounds = row_block_bounds(n, p)
+        for d in range(p):
+            received = [tiles[s][d] for s in range(p)]
+            my_rows = assemble_received_tiles(received, n)
+            a, b = col_bounds[d]
+            np.testing.assert_array_equal(my_rows, x.T[a:b])
+
+    def test_split_returns_views(self):
+        x = np.zeros((8, 8))
+        blocks = split_row_block(x, 4)
+        blocks[0][0, 0] = 7.0
+        assert x[0, 0] == 7.0
+
+    def test_extract_tiles_are_copies(self):
+        x = np.zeros((4, 8))
+        tiles = extract_send_tiles(x, 2)
+        tiles[0][0, 0] = 5.0
+        assert x[0, 0] == 0.0
+
+    def test_assemble_checks_width(self):
+        with pytest.raises(ValueError):
+            assemble_received_tiles([np.zeros((2, 3))], n_cols_total=4)
+
+    def test_assemble_empty_raises(self):
+        with pytest.raises(ValueError):
+            assemble_received_tiles([], n_cols_total=0)
+
+    @given(
+        st.integers(1, 6).map(lambda k: 2**k),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_corner_turn_roundtrip_property(self, n, p, seed):
+        """Corner-turning twice restores the original distribution."""
+        if p > n:
+            p = n
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, n))
+
+        def distributed_turn(mat):
+            blocks = split_row_block(mat, p)
+            tiles = [extract_send_tiles(blk, p) for blk in blocks]
+            return np.vstack(
+                [assemble_received_tiles([tiles[s][d] for s in range(p)], n) for d in range(p)]
+            )
+
+        np.testing.assert_array_equal(distributed_turn(distributed_turn(x)), x)

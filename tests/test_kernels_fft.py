@@ -1,0 +1,154 @@
+"""FFT kernel tests: our radix-2 implementation vs numpy, plus property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    bit_reverse_permutation,
+    fft,
+    fft2d,
+    fft_rows,
+    ifft,
+    ifft2d,
+    ifft_rows,
+)
+
+
+class TestBitReverse:
+    def test_n8(self):
+        assert list(bit_reverse_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_n1(self):
+        assert list(bit_reverse_permutation(1)) == [0]
+
+    def test_is_involution(self):
+        perm = bit_reverse_permutation(64)
+        assert np.array_equal(perm[perm], np.arange(64))
+
+    @pytest.mark.parametrize("bad", [0, 3, 12, -8])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(bad)
+
+
+class TestFft1d:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256, 1024])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    def test_real_input(self):
+        x = np.arange(16, dtype=float)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-10)
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(32)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft(x), np.ones(32), atol=1e-12)
+
+    def test_constant_gives_dc_only(self):
+        x = np.ones(16)
+        expected = np.zeros(16, dtype=complex)
+        expected[0] = 16
+        np.testing.assert_allclose(fft(x), expected, atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft(np.zeros(12))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            fft(np.zeros((4, 4)))
+
+    @given(
+        st.integers(min_value=1, max_value=7).map(lambda k: 2**k),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=6).map(lambda k: 2**k),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        y = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(fft(x + y), fft(x) + fft(y), atol=1e-9)
+
+    @given(
+        st.integers(min_value=2, max_value=7).map(lambda k: 2**k),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parseval_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft(x)) ** 2) / n
+        assert energy_time == pytest.approx(energy_freq)
+
+
+class TestFftRows:
+    @pytest.mark.parametrize("shape", [(1, 8), (4, 16), (16, 4), (7, 32)])
+    def test_matches_numpy(self, shape):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        np.testing.assert_allclose(fft_rows(x), np.fft.fft(x, axis=1), atol=1e-9)
+
+    def test_numpy_backend_agrees_with_own(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 64)) + 1j * rng.normal(size=(8, 64))
+        np.testing.assert_allclose(
+            fft_rows(x, backend="own"), fft_rows(x, backend="numpy"), atol=1e-9
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            fft_rows(np.zeros((2, 4)), backend="fftw")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            fft_rows(np.zeros(8))
+
+    def test_ifft_rows_inverts(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 32)) + 1j * rng.normal(size=(5, 32))
+        np.testing.assert_allclose(ifft_rows(fft_rows(x)), x, atol=1e-9)
+
+
+class TestFft2d:
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_matches_numpy_fft2(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+        np.testing.assert_allclose(fft2d(x), np.fft.fft2(x), atol=1e-8)
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(16, 64))
+        np.testing.assert_allclose(fft2d(x), np.fft.fft2(x), atol=1e-9)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        np.testing.assert_allclose(ifft2d(fft2d(x)), x, atol=1e-9)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            fft2d(np.zeros(8))
+
+    def test_separability_matches_composition(self):
+        # fft2d must equal "rows then columns" done explicitly.
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+        manual = fft_rows(fft_rows(x).T).T
+        np.testing.assert_allclose(fft2d(x), manual, atol=1e-9)

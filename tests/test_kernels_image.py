@@ -1,0 +1,119 @@
+"""Image-kernel tests, validated against scipy/direct references."""
+
+import numpy as np
+import pytest
+import scipy.signal
+
+from repro.kernels import (
+    box_blur,
+    conv2d_direct,
+    conv2d_fft,
+    conv2d_fft_flops,
+    sobel_magnitude,
+    threshold_segment,
+)
+
+
+def circular_reference(image, kernel):
+    """scipy-based circular convolution reference."""
+    h, w = image.shape
+    padded = np.zeros_like(image, dtype=float)
+    padded[: kernel.shape[0], : kernel.shape[1]] = kernel
+    return np.real(np.fft.ifft2(np.fft.fft2(image) * np.fft.fft2(padded)))
+
+
+class TestConv2d:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.image = rng.normal(size=(16, 16))
+        self.kernel = rng.normal(size=(3, 3))
+
+    def test_direct_matches_fft_reference(self):
+        np.testing.assert_allclose(
+            conv2d_direct(self.image, self.kernel),
+            circular_reference(self.image, self.kernel),
+            atol=1e-10,
+        )
+
+    def test_fft_matches_direct(self):
+        np.testing.assert_allclose(
+            conv2d_fft(self.image, self.kernel),
+            conv2d_direct(self.image, self.kernel),
+            atol=1e-8,
+        )
+
+    def test_identity_kernel(self):
+        ident = np.zeros((3, 3))
+        ident[0, 0] = 1.0
+        np.testing.assert_allclose(conv2d_direct(self.image, ident), self.image)
+
+    def test_real_input_gives_real_output(self):
+        out = conv2d_fft(self.image, self.kernel)
+        assert not np.iscomplexobj(out)
+
+    def test_complex_input_stays_complex(self):
+        out = conv2d_fft(self.image.astype(complex), self.kernel)
+        assert np.iscomplexobj(out)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            conv2d_direct(np.ones((4, 4)), np.ones((5, 5)))
+        with pytest.raises(ValueError):
+            conv2d_fft(np.ones((4, 4)), np.ones((5, 5)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_direct(np.ones(4), np.ones((2, 2)))
+
+    def test_flops_model(self):
+        assert conv2d_fft_flops(64) > 0
+        with pytest.raises(ValueError):
+            conv2d_fft_flops(100)
+
+
+class TestSobel:
+    def test_flat_image_zero_gradient(self):
+        np.testing.assert_allclose(sobel_magnitude(np.full((8, 8), 5.0)), 0.0, atol=1e-12)
+
+    def test_vertical_edge_detected(self):
+        image = np.zeros((16, 16))
+        image[:, 8:] = 1.0
+        mag = sobel_magnitude(image)
+        # strongest response at the edge columns
+        edge_mean = mag[:, 7:9].mean()
+        flat_mean = mag[:, 2:6].mean()
+        assert edge_mean > 10 * max(flat_mean, 1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sobel_magnitude(np.ones(8))
+
+
+class TestBoxBlur:
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(1)
+        image = rng.normal(size=(16, 16))
+        out = box_blur(image, size=3)
+        assert out.mean() == pytest.approx(image.mean())
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(2)
+        image = rng.normal(size=(32, 32))
+        assert box_blur(image, 5).var() < image.var()
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            box_blur(np.ones((4, 4)), size=2)
+        with pytest.raises(ValueError):
+            box_blur(np.ones((4, 4)), size=-1)
+
+
+class TestThresholdSegment:
+    def test_top_decile_selected(self):
+        image = np.arange(100, dtype=float).reshape(10, 10)
+        mask = threshold_segment(image, quantile=0.9)
+        assert mask.sum() == 10  # strictly above the 90th percentile
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            threshold_segment(np.ones((2, 2)), quantile=1.5)

@@ -1,0 +1,194 @@
+"""Radar and linear-algebra kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    cfar_detect,
+    cfar_threshold,
+    chirp_waveform,
+    cholesky_flops,
+    doppler_process,
+    hanning_window,
+    matmul,
+    matmul_blocked,
+    matvec,
+    outer,
+    pulse_compress,
+    pulse_compress_rows,
+)
+
+
+class TestLinalg:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.a = rng.normal(size=(12, 8))
+        self.b = rng.normal(size=(8, 10))
+
+    def test_matmul_matches_numpy(self):
+        np.testing.assert_allclose(matmul(self.a, self.b), self.a @ self.b)
+
+    @pytest.mark.parametrize("block", [1, 3, 8, 64])
+    def test_blocked_matmul_matches(self, block):
+        np.testing.assert_allclose(
+            matmul_blocked(self.a, self.b, block=block), self.a @ self.b, atol=1e-12
+        )
+
+    def test_complex_blocked(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6))
+        b = rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6))
+        np.testing.assert_allclose(matmul_blocked(a, b, block=2), a @ b, atol=1e-12)
+
+    def test_shape_errors(self):
+        with pytest.raises(ValueError):
+            matmul(self.a, self.a)
+        with pytest.raises(ValueError):
+            matmul_blocked(self.a, self.b, block=0)
+        with pytest.raises(ValueError):
+            matvec(self.a, np.ones(3))
+        with pytest.raises(ValueError):
+            outer(self.a, np.ones(3))
+
+    def test_matvec(self):
+        x = np.arange(8, dtype=float)
+        np.testing.assert_allclose(matvec(self.a, x), self.a @ x)
+
+    def test_outer_conjugates_second(self):
+        x = np.array([1 + 1j, 2j])
+        y = np.array([1j, 1.0])
+        np.testing.assert_allclose(outer(x, y), np.outer(x, np.conj(y)))
+
+    def test_cholesky_flops(self):
+        assert cholesky_flops(10) == pytest.approx(1000 / 3)
+        with pytest.raises(ValueError):
+            cholesky_flops(0)
+
+
+class TestChirp:
+    def test_unit_amplitude(self):
+        w = chirp_waveform(64)
+        np.testing.assert_allclose(np.abs(w), 1.0)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            chirp_waveform(64, bandwidth_frac=0)
+        with pytest.raises(ValueError):
+            chirp_waveform(0)
+
+
+class TestPulseCompression:
+    def test_matched_filter_peaks_at_target_delay(self):
+        n, delay = 256, 40
+        wf = chirp_waveform(n)
+        echo = np.roll(wf, delay)  # circular model: target at `delay`
+        compressed = pulse_compress(echo, wf)
+        assert int(np.argmax(np.abs(compressed))) == delay
+
+    def test_peak_gain_is_pulse_length(self):
+        n = 128
+        wf = chirp_waveform(n)
+        compressed = pulse_compress(wf, wf)
+        assert np.abs(compressed[0]) == pytest.approx(n, rel=1e-6)
+
+    def test_rows_version_matches_loop(self):
+        n = 64
+        wf = chirp_waveform(n)
+        rng = np.random.default_rng(2)
+        echoes = rng.normal(size=(5, n)) + 1j * rng.normal(size=(5, n))
+        rows = pulse_compress_rows(echoes, wf)
+        for i in range(5):
+            np.testing.assert_allclose(rows[i], pulse_compress(echoes[i], wf), atol=1e-8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pulse_compress(np.ones(8), np.ones(16))
+        with pytest.raises(ValueError):
+            pulse_compress_rows(np.ones(8), np.ones(8))
+
+    @given(st.integers(3, 7).map(lambda k: 2**k), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_detects_random_delay_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        delay = int(rng.integers(0, n))
+        wf = chirp_waveform(n)
+        echo = np.roll(wf, delay) + 0.05 * (
+            rng.normal(size=n) + 1j * rng.normal(size=n)
+        )
+        compressed = pulse_compress(echo, wf)
+        assert int(np.argmax(np.abs(compressed))) == delay
+
+
+class TestDoppler:
+    def test_constant_target_in_zero_doppler_bin(self):
+        pulses, rng_bins = 16, 8
+        cpi = np.ones((pulses, rng_bins), dtype=complex)
+        out = doppler_process(cpi)
+        assert out.shape == (pulses, rng_bins)
+        # all energy in doppler bin 0
+        assert np.argmax(np.abs(out[:, 0])) == 0
+        assert np.abs(out[0, 0]) == pytest.approx(pulses)
+
+    def test_moving_target_lands_in_its_bin(self):
+        pulses, rng_bins, bin_idx = 32, 4, 5
+        phase = np.exp(2j * np.pi * bin_idx * np.arange(pulses) / pulses)
+        cpi = np.tile(phase[:, None], (1, rng_bins))
+        out = doppler_process(cpi)
+        assert int(np.argmax(np.abs(out[:, 0]))) == bin_idx
+
+    def test_window_applied_along_pulses(self):
+        pulses, rng_bins = 16, 4
+        cpi = np.ones((pulses, rng_bins), dtype=complex)
+        w = hanning_window(pulses)
+        out = doppler_process(cpi, window=w)
+        assert np.abs(out[0, 0]) == pytest.approx(w.sum())
+
+    def test_window_length_checked(self):
+        with pytest.raises(ValueError):
+            doppler_process(np.ones((8, 4)), window=np.ones(5))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            doppler_process(np.ones(8))
+
+
+class TestCfar:
+    def test_lone_target_detected(self):
+        cells = np.full(64, 1.0, dtype=complex)
+        cells[30] = 20.0
+        det = cfar_detect(cells, guard=2, train=8, scale=5.0)
+        assert det[30]
+        assert det.sum() == 1
+
+    def test_uniform_noise_no_detections(self):
+        cells = np.full(64, 3.0, dtype=complex)
+        det = cfar_detect(cells, scale=5.0)
+        assert not det.any()
+
+    def test_guard_cells_protect_spread_targets(self):
+        cells = np.full(64, 1.0, dtype=complex)
+        cells[30] = 10.0
+        cells[31] = 10.0  # energy leaking into the adjacent cell
+        det_guarded = cfar_detect(cells, guard=2, train=8, scale=8.0)
+        assert det_guarded[30] and det_guarded[31]
+
+    def test_threshold_scales_with_noise(self):
+        quiet = cfar_threshold(np.full(32, 1.0))
+        loud = cfar_threshold(np.full(32, 4.0))
+        np.testing.assert_allclose(loud, 4 * quiet)
+
+    def test_2d_input_rowwise(self):
+        power = np.ones((3, 32))
+        power[1, 16] = 100.0
+        thr = cfar_threshold(power, scale=5.0)
+        det = power > thr
+        assert det[1, 16]
+        assert det.sum() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cfar_threshold(np.ones(8), train=0)
+        with pytest.raises(ValueError):
+            cfar_threshold(np.ones(8), guard=-1)

@@ -1,0 +1,154 @@
+"""Signal-primitive tests, validated against numpy/scipy references."""
+
+import numpy as np
+import pytest
+import scipy.signal
+
+from repro.kernels import (
+    KERNEL_REGISTRY,
+    KernelInfo,
+    apply_window,
+    blackman_window,
+    dot,
+    fir_filter,
+    get_kernel,
+    hamming_window,
+    hanning_window,
+    magnitude_db,
+    register_kernel,
+    vadd,
+    vmag2,
+    vmul,
+    vsmul,
+)
+
+
+class TestVectorOps:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.a = rng.normal(size=32) + 1j * rng.normal(size=32)
+        self.b = rng.normal(size=32) + 1j * rng.normal(size=32)
+
+    def test_vadd(self):
+        np.testing.assert_array_equal(vadd(self.a, self.b), self.a + self.b)
+
+    def test_vmul(self):
+        np.testing.assert_array_equal(vmul(self.a, self.b), self.a * self.b)
+
+    def test_vsmul(self):
+        np.testing.assert_array_equal(vsmul(self.a, 2j), self.a * 2j)
+
+    def test_vmag2(self):
+        np.testing.assert_allclose(vmag2(self.a), np.abs(self.a) ** 2)
+        assert vmag2(self.a).dtype == np.float64
+
+    def test_dot_conjugates_first_argument(self):
+        expected = np.vdot(self.a, self.b)
+        assert dot(self.a, self.b) == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            vadd(self.a, self.b[:-1])
+        with pytest.raises(ValueError):
+            vmul(self.a, self.b[:-1])
+        with pytest.raises(ValueError):
+            dot(self.a, self.b[:-1])
+
+
+class TestFir:
+    def test_matches_scipy_lfilter(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        taps = rng.normal(size=8)
+        expected = scipy.signal.lfilter(taps, [1.0], x)
+        np.testing.assert_allclose(fir_filter(x, taps), expected, atol=1e-10)
+
+    def test_identity_tap(self):
+        x = np.arange(10, dtype=float)
+        np.testing.assert_allclose(fir_filter(x, np.array([1.0])), x)
+
+    def test_delay_tap(self):
+        x = np.arange(10, dtype=float)
+        y = fir_filter(x, np.array([0.0, 1.0]))
+        np.testing.assert_allclose(y[1:], x[:-1])
+        assert y[0] == 0.0
+
+    def test_empty_taps_raises(self):
+        with pytest.raises(ValueError):
+            fir_filter(np.ones(4), np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            fir_filter(np.ones((2, 2)), np.ones(2))
+
+
+class TestWindows:
+    @pytest.mark.parametrize("n", [1, 2, 16, 129])
+    def test_hanning_matches_numpy(self, n):
+        np.testing.assert_allclose(hanning_window(n), np.hanning(n), atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 16, 129])
+    def test_hamming_matches_numpy(self, n):
+        np.testing.assert_allclose(hamming_window(n), np.hamming(n), atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 16, 129])
+    def test_blackman_matches_numpy(self, n):
+        np.testing.assert_allclose(blackman_window(n), np.blackman(n), atol=1e-12)
+
+    def test_invalid_length(self):
+        for w in (hanning_window, hamming_window, blackman_window):
+            with pytest.raises(ValueError):
+                w(0)
+
+    def test_apply_window_broadcasts_over_rows(self):
+        x = np.ones((3, 8))
+        w = hanning_window(8)
+        out = apply_window(x, w)
+        for row in out:
+            np.testing.assert_allclose(row, w)
+
+    def test_apply_window_length_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_window(np.ones(8), hanning_window(4))
+
+
+class TestMagnitudeDb:
+    def test_unit_magnitude_is_zero_db(self):
+        np.testing.assert_allclose(magnitude_db(np.array([1.0, 1j, -1.0])), 0.0)
+
+    def test_factor_ten_is_twenty_db(self):
+        assert magnitude_db(np.array([10.0]))[0] == pytest.approx(20.0)
+
+    def test_zero_clamped_to_floor(self):
+        assert magnitude_db(np.array([0.0]), floor_db=-120.0)[0] == pytest.approx(-120.0)
+
+
+class TestKernelRegistry:
+    def test_shelf_contains_core_kernels(self):
+        for name in ("vadd", "vmul", "vmag2", "fft_row", "apply_window"):
+            assert name in KERNEL_REGISTRY
+
+    def test_get_kernel(self):
+        info = get_kernel("vadd")
+        assert info.fn is vadd
+        assert info.flops(10) == 20.0
+
+    def test_fft_row_flop_model(self):
+        info = get_kernel("fft_row")
+        assert info.flops(1024) == pytest.approx(5 * 1024 * 10)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("warpdrive")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_kernel(KernelInfo("vadd", vadd, lambda n: n))
+
+    def test_register_new_kernel(self):
+        name = "test_only_kernel"
+        try:
+            info = register_kernel(KernelInfo(name, abs, lambda n: float(n)))
+            assert get_kernel(name) is info
+        finally:
+            KERNEL_REGISTRY.pop(name, None)

@@ -1,0 +1,53 @@
+"""Runtime DRAM-footprint enforcement tests (the §3.2 64 MB-per-CPU limit)."""
+
+import pytest
+
+from repro.apps import benchmark_mapping, corner_turn_model, fft2d_model
+from repro.core.codegen import generate_glue
+from repro.core.runtime import DEFAULT_CONFIG, SageRuntime
+from repro.machine import Environment, SimCluster, cspi
+
+
+def make_runtime(app, nodes, config=None):
+    glue = generate_glue(app, benchmark_mapping(app, nodes), num_processors=nodes)
+    env = Environment()
+    cluster = SimCluster.from_platform(env, cspi(), nodes)
+    return SageRuntime(glue, cluster, config=config or DEFAULT_CONFIG.timing_only())
+
+
+def test_benchmark_sizes_fit():
+    """Every Table 1.0 configuration fits the 64 MB boards."""
+    for n in (256, 512, 1024):
+        for nodes in (2, 4, 8):
+            make_runtime(corner_turn_model(n, nodes), nodes)
+            make_runtime(fft2d_model(n, nodes), nodes)
+
+
+def test_oversized_matrix_rejected():
+    app = corner_turn_model(4096, 2)  # 128 MB logical buffer
+    with pytest.raises(MemoryError, match="physical buffers need"):
+        make_runtime(app, 2)
+
+
+def test_more_nodes_make_it_fit():
+    # 2048^2 complex64 = 32 MB logical; 2 nodes hold ~48 MB each (3 buffer
+    # endpoints x 16 MB regions) - fits; verify the footprint arithmetic.
+    runtime = make_runtime(corner_turn_model(2048, 2), 2)
+    fp = runtime.memory_footprint()
+    assert all(v <= 64 * 1024 * 1024 for v in fp.values())
+
+
+def test_enforcement_can_be_disabled():
+    app = corner_turn_model(4096, 2)
+    cfg = DEFAULT_CONFIG.timing_only()
+    import dataclasses
+
+    cfg = dataclasses.replace(cfg, enforce_memory=False)
+    runtime = make_runtime(app, 2, config=cfg)  # no raise
+    assert max(runtime.memory_footprint().values()) > 64 * 1024 * 1024
+
+
+def test_footprint_scales_inversely_with_nodes():
+    fp4 = make_runtime(fft2d_model(1024, 4), 4).memory_footprint()
+    fp8 = make_runtime(fft2d_model(1024, 8), 8).memory_footprint()
+    assert max(fp8.values()) < max(fp4.values())

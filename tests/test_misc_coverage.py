@@ -1,0 +1,96 @@
+"""Coverage for small public-surface corners not exercised elsewhere."""
+
+import pytest
+
+from repro.core.alter import Interpreter
+from repro.machine import perfmodel
+from repro.mpi import copy_payload, payload_nbytes
+
+
+class TestPerfModelCorners:
+    def test_fft_rows_flops(self):
+        assert perfmodel.fft_rows_flops(4, 256) == pytest.approx(4 * 5 * 256 * 8)
+        assert perfmodel.fft_rows_flops(0, 256) == 0.0
+        with pytest.raises(ValueError):
+            perfmodel.fft_rows_flops(-1, 256)
+
+    def test_transpose_bytes(self):
+        assert perfmodel.transpose_bytes(1024) == 1024 * 1024 * 8
+        assert perfmodel.transpose_bytes(4, elem_bytes=4) == 64
+        with pytest.raises(ValueError):
+            perfmodel.transpose_bytes(0)
+
+    def test_byte_constants(self):
+        assert perfmodel.COMPLEX64_BYTES == 8
+        assert perfmodel.COMPLEX128_BYTES == 16
+        assert perfmodel.FLOAT32_BYTES == 4
+
+
+class TestPayloadHelpers:
+    def test_nbytes_of_none_and_bytes(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(b"1234") == 4
+        assert payload_nbytes(memoryview(b"12")) == 2
+
+    def test_nbytes_of_pickled_object(self):
+        assert payload_nbytes({"k": [1, 2, 3]}) > 0
+
+    def test_nbytes_of_unpicklable_falls_back(self):
+        assert payload_nbytes(lambda: None) == 64  # token-sized header
+
+    def test_copy_payload_scalars_pass_through(self):
+        for v in (5, 2.5, 1 + 2j, "s", b"b", True, None):
+            assert copy_payload(v) == v
+
+    def test_copy_payload_deep_copies_containers(self):
+        original = {"a": [1, 2]}
+        copied = copy_payload(original)
+        copied["a"].append(3)
+        assert original == {"a": [1, 2]}
+
+
+class TestAlterDisplayBuiltins:
+    def test_display_and_newline_emit(self):
+        interp = Interpreter()
+        interp.run('(display "x")(newline)(display 5)')
+        assert interp.output() == "x\n5"
+
+    def test_display_of_lists_and_bools(self):
+        interp = Interpreter()
+        interp.run("(display (list 1 #t \"s\"))")
+        assert interp.output() == "(1 #t s)"
+
+
+class TestProjectSourceInterval:
+    def test_execute_with_source_interval(self):
+        from repro import SageProject
+        from repro.apps import fft2d_model
+
+        project = SageProject(fft2d_model(64, 2), nodes=2)
+        project.generate()
+        base = project.execute(iterations=3)
+        interval = base.mean_latency * 2
+        from repro.core.runtime import DEFAULT_CONFIG
+
+        throttled = project.execute(
+            iterations=3,
+            config=DEFAULT_CONFIG.timing_only().pipelined(),
+            source_interval=interval,
+        )
+        assert throttled.period == pytest.approx(interval, rel=0.02)
+
+
+class TestTraceSpanQueries:
+    def test_by_iteration_and_function(self):
+        from repro.core.runtime import ProbeEvent, Trace
+
+        trace = Trace()
+        for k in range(2):
+            trace.record(ProbeEvent(float(k), "enter", "f", 0, 0, 0, k))
+            trace.record(ProbeEvent(float(k) + 0.5, "exit", "f", 0, 0, 0, k))
+        assert len(trace.by_iteration(1)) == 2
+        assert len(trace.by_function("f")) == 4
+        assert len(trace.by_processor(0)) == 4
+        assert trace.span == pytest.approx(1.5)
+        spans = trace.spans(function="f")
+        assert len(spans) == 2

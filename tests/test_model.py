@@ -1,0 +1,339 @@
+"""Designer model layer tests: datatypes, application graphs, hardware, shelves, mapping."""
+
+import pytest
+
+from repro.core.model import (
+    ApplicationModel,
+    BoardElement,
+    CompositeBlock,
+    DataType,
+    FunctionBlock,
+    HardwareModel,
+    Mapping,
+    ModelError,
+    ProcessorElement,
+    REPLICATED,
+    Striping,
+    block_mapping,
+    cspi_hardware,
+    from_platform,
+    hardware_shelf,
+    round_robin_mapping,
+    single_node_mapping,
+    software_shelf,
+    striped,
+)
+from repro.machine import Environment, cspi
+
+
+MTYPE = DataType("m", "complex64", (64, 64))
+
+
+class TestDataType:
+    def test_sizes(self):
+        assert MTYPE.elem_bytes == 8
+        assert MTYPE.total_elems == 64 * 64
+        assert MTYPE.total_bytes == 64 * 64 * 8
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            DataType("x", "notatype", (4,))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DataType("x", "float32", (0, 4))
+
+    def test_with_shape(self):
+        t = MTYPE.with_shape((8, 8))
+        assert t.shape == (8, 8)
+        assert t.dtype == MTYPE.dtype
+
+    def test_empty_allocates_correct_array(self):
+        arr = MTYPE.empty()
+        assert arr.shape == (64, 64)
+        assert arr.dtype.name == "complex64"
+
+
+class TestStriping:
+    def test_replicated(self):
+        assert not REPLICATED.is_striped
+        assert REPLICATED.describe() == "replicated"
+
+    def test_striped(self):
+        s = striped(1)
+        assert s.is_striped and s.axis == 1
+        assert "axis=1" in s.describe()
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Striping("diagonal")
+
+    def test_dict_roundtrip(self):
+        s = striped(1)
+        assert Striping.from_dict(s.to_dict()) == s
+
+
+def build_pipeline(threads=4):
+    """source -> fft(striped0) -> turn(striped0 -> striped1) -> sink"""
+    app = ApplicationModel("pipeline")
+    src = app.add_block(FunctionBlock("src", kernel="matrix_source"))
+    src.add_out("out", MTYPE, striped(0))
+    fft = app.add_block(FunctionBlock("fft", kernel="fft_rows", threads=threads))
+    fft.add_in("in", MTYPE, striped(0))
+    fft.add_out("out", MTYPE, striped(0))
+    turn = app.add_block(FunctionBlock("turn", kernel="block_transpose", threads=threads))
+    turn.add_in("in", MTYPE, striped(1))
+    turn.add_out("out", MTYPE, striped(0))
+    sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink"))
+    sink.add_in("in", MTYPE, REPLICATED)
+    app.connect(src.port("out"), fft.port("in"))
+    app.connect(fft.port("out"), turn.port("in"))
+    app.connect(turn.port("out"), sink.port("in"))
+    return app
+
+
+class TestApplicationModel:
+    def test_function_ids_assigned_in_order(self):
+        app = build_pipeline()
+        instances = app.function_instances()
+        assert [i.function_id for i in instances] == [0, 1, 2, 3]
+        assert [i.path for i in instances] == ["src", "fft", "turn", "sink"]
+
+    def test_duplicate_block_name_rejected(self):
+        app = ApplicationModel("a")
+        app.add_block(FunctionBlock("x", kernel="k"))
+        with pytest.raises(ModelError):
+            app.add_block(FunctionBlock("x", kernel="k"))
+
+    def test_duplicate_port_rejected(self):
+        blk = FunctionBlock("b", kernel="k")
+        blk.add_in("p", MTYPE)
+        with pytest.raises(ModelError):
+            blk.add_in("p", MTYPE)
+
+    def test_arc_direction_enforced(self):
+        app = ApplicationModel("a")
+        b1 = app.add_block(FunctionBlock("b1", kernel="k"))
+        b1.add_in("i", MTYPE)
+        b2 = app.add_block(FunctionBlock("b2", kernel="k"))
+        b2.add_out("o", MTYPE)
+        with pytest.raises(ModelError, match="direction"):
+            app.connect(b1.port("i"), b2.port("o"))
+
+    def test_arc_dtype_mismatch_rejected(self):
+        app = ApplicationModel("a")
+        b1 = app.add_block(FunctionBlock("b1", kernel="k"))
+        b1.add_out("o", DataType("f", "float32", (4,)))
+        b2 = app.add_block(FunctionBlock("b2", kernel="k"))
+        b2.add_in("i", DataType("c", "complex64", (4,)))
+        with pytest.raises(ModelError, match="mismatch"):
+            app.connect(b1.port("o"), b2.port("i"))
+
+    def test_arc_to_foreign_block_rejected(self):
+        app = ApplicationModel("a")
+        inner = FunctionBlock("stray", kernel="k")  # never added
+        inner.add_out("o", MTYPE)
+        b = app.add_block(FunctionBlock("b", kernel="k"))
+        b.add_in("i", MTYPE)
+        with pytest.raises(ModelError, match="not inside"):
+            app.connect(inner.port("o"), b.port("i"))
+
+    def test_topological_order_follows_dataflow(self):
+        app = build_pipeline()
+        order = [i.path for i in app.topological_order()]
+        assert order == ["src", "fft", "turn", "sink"]
+
+    def test_cycle_detected(self):
+        app = ApplicationModel("cyc")
+        a = app.add_block(FunctionBlock("a", kernel="k"))
+        a.add_in("i", MTYPE)
+        a.add_out("o", MTYPE)
+        b = app.add_block(FunctionBlock("b", kernel="k"))
+        b.add_in("i", MTYPE)
+        b.add_out("o", MTYPE)
+        app.connect(a.port("o"), b.port("i"))
+        app.connect(b.port("o"), a.port("i"))
+        with pytest.raises(ModelError, match="cycle"):
+            app.topological_order()
+
+    def test_threads_validation(self):
+        with pytest.raises(ModelError):
+            FunctionBlock("b", kernel="k", threads=0)
+
+    def test_instance_by_path(self):
+        app = build_pipeline()
+        inst = app.instance_by_path("turn")
+        assert inst.kernel == "block_transpose"
+        with pytest.raises(ModelError):
+            app.instance_by_path("nope")
+
+    def test_properties(self):
+        blk = FunctionBlock("b", kernel="k")
+        blk.set_property("color", "red")
+        assert blk.get_property("color") == "red"
+        assert blk.get_property("missing", 7) == 7
+        assert blk.properties() == {"color": "red"}
+
+
+class TestHierarchy:
+    def build_nested(self):
+        app = ApplicationModel("nested")
+        src = app.add_block(FunctionBlock("src", kernel="matrix_source"))
+        src.add_out("out", MTYPE, striped(0))
+        comp = CompositeBlock("stage")
+        inner = comp.add_block(FunctionBlock("work", kernel="fft_rows", threads=2))
+        inner.add_in("in", MTYPE, striped(0))
+        inner.add_out("out", MTYPE, striped(0))
+        comp.export(inner.port("in"), as_name="in")
+        comp.export(inner.port("out"), as_name="out")
+        app.add_block(comp)
+        sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink"))
+        sink.add_in("in", MTYPE)
+        app.connect(src.port("out"), comp.port("in"))
+        app.connect(comp.port("out"), sink.port("in"))
+        return app
+
+    def test_flatten_assigns_dotted_paths(self):
+        app = self.build_nested()
+        paths = [i.path for i in app.function_instances()]
+        assert paths == ["src", "stage.work", "sink"]
+
+    def test_flattened_arcs_resolve_exports(self):
+        app = self.build_nested()
+        arcs = [(s.qualified_name, d.qualified_name) for s, d in app.flattened_arcs()]
+        assert ("src.out", "work.in") in arcs
+        assert ("work.out", "sink.in") in arcs
+
+    def test_topological_order_through_hierarchy(self):
+        app = self.build_nested()
+        order = [i.path for i in app.topological_order()]
+        assert order == ["src", "stage.work", "sink"]
+
+    def test_unknown_export_raises(self):
+        comp = CompositeBlock("c")
+        with pytest.raises(ModelError):
+            comp.resolve_export("ghost")
+
+
+class TestHardwareModel:
+    def test_cspi_hardware_structure(self):
+        hw = cspi_hardware(nodes=8)
+        assert hw.processor_count == 8
+        assert len(hw.boards) == 2
+        assert hw.board_map()[0] == 0 and hw.board_map()[7] == 1
+
+    def test_partial_board(self):
+        hw = cspi_hardware(nodes=6)
+        assert hw.processor_count == 6
+        assert len(hw.boards) == 2
+        assert len(hw.boards[1].processors) == 2
+
+    def test_build_cluster(self):
+        env = Environment()
+        cluster = cspi_hardware(nodes=4).build_cluster(env)
+        assert len(cluster) == 4
+        assert cluster.node(0).spec.name == "PowerPC 603e"
+
+    def test_empty_hardware_rejected(self):
+        hw = HardwareModel("empty", cspi().fabric)
+        with pytest.raises(ModelError):
+            hw.validate()
+
+    def test_heterogeneous_cpus_supported(self):
+        hw = HardwareModel("mixed", cspi().fabric)
+        board = hw.add_board(BoardElement("b0"))
+        board.add_processor(ProcessorElement("p0", cspi().cpu))
+        other = cspi().cpu.__class__(
+            name="other", clock_mhz=100, mflops=50, copy_bw=1e8
+        )
+        board.add_processor(ProcessorElement("p1", other))
+        assert hw.is_heterogeneous
+        env = Environment()
+        cluster = hw.build_cluster(env)
+        assert cluster.is_heterogeneous
+        assert cluster.node(0).spec.mflops == cspi().cpu.mflops
+        assert cluster.node(1).spec.mflops == 50
+
+    def test_from_platform_zero_nodes(self):
+        with pytest.raises(ModelError):
+            from_platform(cspi(), 0)
+
+
+class TestShelves:
+    def test_software_shelf_has_isspl_and_structural(self):
+        shelf = software_shelf()
+        assert "vadd" in shelf
+        assert "fft_rows" in shelf
+        assert "matrix_source" in shelf
+        assert shelf.category_of("vadd") == "isspl"
+        assert shelf.category_of("fft_rows") == "structural"
+
+    def test_take_yields_fresh_blocks(self):
+        shelf = software_shelf()
+        b1 = shelf.take("vadd", "adder1", threads=2)
+        b2 = shelf.take("vadd", "adder2")
+        assert b1 is not b2
+        assert b1.threads == 2 and b2.threads == 1
+
+    def test_unknown_item(self):
+        shelf = software_shelf()
+        with pytest.raises(ModelError, match="no item"):
+            shelf.take("quantum_fft", "x")
+
+    def test_duplicate_put_rejected(self):
+        shelf = software_shelf()
+        with pytest.raises(ModelError):
+            shelf.put("vadd", lambda: None)
+
+    def test_hardware_shelf_builds_models(self):
+        shelf = hardware_shelf()
+        hw = shelf.take("cspi", nodes=8)
+        assert hw.processor_count == 8
+        assert shelf.items(category="platform") == ["cspi", "mercury", "sigi", "sky"]
+
+    def test_items_listing(self):
+        shelf = software_shelf()
+        assert "vmul" in shelf.items()
+        assert len(shelf) == len(shelf.items())
+
+
+class TestMapping:
+    def test_round_robin_colocates_same_thread_index(self):
+        app = build_pipeline(threads=4)
+        m = round_robin_mapping(app, 4)
+        fft_id = app.instance_by_path("fft").function_id
+        turn_id = app.instance_by_path("turn").function_id
+        for t in range(4):
+            assert m.processor_of(fft_id, t) == m.processor_of(turn_id, t) == t
+
+    def test_single_node(self):
+        app = build_pipeline()
+        m = single_node_mapping(app)
+        assert m.processors_used() == [0]
+
+    def test_block_mapping_spreads(self):
+        app = build_pipeline(threads=2)
+        m = block_mapping(app, 4)
+        assert set(m.processors_used()) <= {0, 1, 2, 3}
+
+    def test_validate_catches_out_of_range(self):
+        app = build_pipeline(threads=4)
+        m = round_robin_mapping(app, 8)
+        with pytest.raises(ModelError, match="hardware has only"):
+            m.validate(app, processor_count=2)
+
+    def test_validate_catches_missing(self):
+        app = build_pipeline()
+        with pytest.raises(ModelError, match="no mapping"):
+            Mapping().validate(app, processor_count=4)
+
+    def test_dict_roundtrip(self):
+        app = build_pipeline(threads=3)
+        m = round_robin_mapping(app, 4)
+        assert Mapping.from_dict(m.to_dict()) == m
+
+    def test_threads_on(self):
+        app = build_pipeline(threads=4)
+        m = round_robin_mapping(app, 2)
+        on0 = m.threads_on(0)
+        assert all(t % 2 == 0 for _, t in on0)

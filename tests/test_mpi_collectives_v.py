@@ -1,0 +1,113 @@
+"""Tests for the extended collectives: scan, reduce_scatter, v-variants."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Environment, SimCluster, cspi
+from repro.mpi import MpiError, MpiWorld
+
+
+def run_collective(nodes, prog):
+    env = Environment()
+    world = MpiWorld(SimCluster.from_platform(env, cspi(), nodes))
+    world.spawn(prog)
+    return world.run()
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 3, 4, 8])
+def test_scan_inclusive_prefix_sum(nodes):
+    def prog(comm):
+        out = yield from comm.scan(comm.rank + 1, op="sum")
+        return out
+
+    results = run_collective(nodes, prog)
+    assert results == [sum(range(1, r + 2)) for r in range(nodes)]
+
+
+def test_scan_with_arrays():
+    def prog(comm):
+        out = yield from comm.scan(np.full(4, float(comm.rank)), op="sum")
+        return out
+
+    results = run_collective(4, prog)
+    for r, out in enumerate(results):
+        np.testing.assert_allclose(out, np.full(4, sum(range(r + 1))))
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8])
+def test_scan_max(nodes):
+    values = [3, 9, 1, 7, 2, 8, 0, 5][:nodes]
+
+    def prog(comm):
+        out = yield from comm.scan(values[comm.rank], op="max")
+        return out
+
+    results = run_collective(nodes, prog)
+    expected = [max(values[: r + 1]) for r in range(nodes)]
+    assert results == expected
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8])
+def test_reduce_scatter_sum(nodes):
+    def prog(comm):
+        # rank s contributes blocks[d] = s*10 + d for each destination d
+        blocks = [comm.rank * 10 + d for d in range(comm.size)]
+        out = yield from comm.reduce_scatter(blocks, op="sum")
+        return out
+
+    results = run_collective(nodes, prog)
+    for d, got in enumerate(results):
+        assert got == sum(s * 10 + d for s in range(nodes))
+
+
+def test_reduce_scatter_wrong_block_count():
+    def prog(comm):
+        yield from comm.reduce_scatter([1])
+
+    with pytest.raises(MpiError):
+        run_collective(4, prog)
+
+
+def test_scatterv_variable_sizes():
+    def prog(comm):
+        chunks = None
+        if comm.rank == 0:
+            chunks = [np.arange(i + 1, dtype=float) for i in range(comm.size)]
+        mine = yield from comm.scatterv(chunks, root=0)
+        return mine.size
+
+    assert run_collective(4, prog) == [1, 2, 3, 4]
+
+
+def test_gatherv_variable_sizes():
+    def prog(comm):
+        data = np.full(comm.rank + 1, float(comm.rank))
+        out = yield from comm.gatherv(data, root=0)
+        if comm.rank == 0:
+            return [x.size for x in out]
+        return None
+
+    results = run_collective(4, prog)
+    assert results[0] == [1, 2, 3, 4]
+
+
+def test_alltoallv_variable_blocks():
+    def prog(comm):
+        # block for destination d has d+1 elements tagged with the source
+        blocks = [np.full(d + 1, float(comm.rank)) for d in range(comm.size)]
+        out = yield from comm.alltoallv(blocks)
+        return [(x.size, x[0]) for x in out]
+
+    results = run_collective(4, prog)
+    for d, received in enumerate(results):
+        assert received == [(d + 1, float(s)) for s in range(4)]
+
+
+def test_scan_then_allreduce_compose():
+    def prog(comm):
+        prefix = yield from comm.scan(1, op="sum")
+        total = yield from comm.allreduce(prefix, op="max")
+        return total
+
+    results = run_collective(4, prog)
+    assert all(r == 4 for r in results)

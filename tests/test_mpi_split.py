@@ -1,0 +1,160 @@
+"""Sub-communicator (comm.split) tests: grouping, isolation, collectives
+within groups, and the row/column pattern for 2-D decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Environment, SimCluster, cspi
+from repro.mpi import MpiWorld
+
+
+def run(nodes, prog):
+    env = Environment()
+    world = MpiWorld(SimCluster.from_platform(env, cspi(), nodes))
+    world.spawn(prog)
+    return world.run()
+
+
+class TestSplitBasics:
+    def test_even_odd_groups(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.global_rank)
+
+        results = run(8, prog)
+        for g, (local, size, global_rank) in enumerate(results):
+            assert size == 4
+            assert global_rank == g
+            assert local == g // 2
+
+    def test_none_color_returns_none(self):
+        def prog(comm):
+            sub = yield from comm.split(color=0 if comm.rank < 2 else None)
+            return sub if sub is None else (sub.rank, sub.size)
+
+        results = run(4, prog)
+        assert results[0] == (0, 2) and results[1] == (1, 2)
+        assert results[2] is None and results[3] is None
+
+    def test_key_reorders_ranks(self):
+        def prog(comm):
+            # reverse order within the single group
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        results = run(4, prog)
+        assert results == [3, 2, 1, 0]
+
+    def test_members_share_context(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank // 2)
+            return (sub.context, tuple(sub.members))
+
+        results = run(4, prog)
+        assert results[0] == results[1]
+        assert results[2] == results[3]
+        assert results[0][0] != results[2][0]  # distinct contexts
+
+
+class TestSplitCommunication:
+    def test_p2p_within_group_uses_local_ranks(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(f"from-global-{comm.rank}", dest=1)
+                return None
+            if sub.rank == 1:
+                msg = yield from sub.recv_msg(source=0)
+                return (msg.data, msg.source)
+            return None
+
+        results = run(4, prog)
+        assert results[2] == ("from-global-0", 0)
+        assert results[3] == ("from-global-1", 0)
+
+    def test_groups_do_not_cross_talk(self):
+        """Same tags in two groups never mismatch (context isolation)."""
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(("group", comm.rank % 2), dest=1, tag=5)
+                return None
+            data = yield from sub.recv(source=0, tag=5)
+            return data
+
+        results = run(4, prog)
+        assert results[2] == ("group", 0)
+        assert results[3] == ("group", 1)
+
+    def test_collectives_within_group(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank // 4)
+            total = yield from sub.allreduce(comm.rank, op="sum")
+            return total
+
+        results = run(8, prog)
+        assert results[:4] == [0 + 1 + 2 + 3] * 4
+        assert results[4:] == [4 + 5 + 6 + 7] * 4
+
+    def test_alltoall_within_group(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            blocks = [f"{sub.rank}->{d}" for d in range(sub.size)]
+            out = yield from sub.alltoall(blocks)
+            return out
+
+        results = run(4, prog)
+        for g in (0, 1):
+            for local, global_rank in enumerate((g, g + 2)):
+                assert results[global_rank] == [f"0->{local}", f"1->{local}"]
+
+    def test_row_column_pattern(self):
+        """The classic 2-D decomposition: a 2x2 grid of ranks with row and
+        column communicators; row-sum then column-sum = global sum."""
+        def prog(comm):
+            row = yield from comm.split(color=comm.rank // 2)
+            col = yield from comm.split(color=comm.rank % 2)
+            row_sum = yield from row.allreduce(comm.rank + 1, op="sum")
+            total = yield from col.allreduce(row_sum, op="sum")
+            return total
+
+        results = run(4, prog)
+        assert results == [1 + 2 + 3 + 4] * 4
+
+    def test_world_traffic_untouched_by_subcomms(self):
+        def prog(comm):
+            sub = yield from comm.split(color=0)
+            if comm.rank == 0:
+                yield from comm.send("world-msg", dest=1, tag=9)
+                yield from sub.send("sub-msg", dest=1, tag=9)
+                return None
+            if comm.rank == 1:
+                sub_msg = yield from sub.recv(source=0, tag=9)
+                world_msg = yield from comm.recv(source=0, tag=9)
+                return (sub_msg, world_msg)
+            return None
+
+        results = run(2, prog)
+        assert results[1] == ("sub-msg", "world-msg")
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = yield from comm.split(color=comm.rank // 4)
+            quarter = yield from half.split(color=half.rank // 2)
+            total = yield from quarter.allreduce(1, op="sum")
+            return (quarter.size, total)
+
+        results = run(8, prog)
+        assert all(r == (2, 2) for r in results)
+
+    def test_compute_charges_global_node(self):
+        """A subcomm's compute lands on the member's global processor."""
+        def prog(comm):
+            sub = yield from comm.split(color=0, key=-comm.rank)  # reversed
+            if sub.rank == 0:  # this is global rank 3
+                yield from sub.compute(90e6)  # ~1s on the 90 MFLOPS CPU
+            yield from comm.barrier()
+            return comm.now
+
+        results = run(4, prog)
+        assert all(t > 0.9 for t in results)  # everyone waited at the barrier

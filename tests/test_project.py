@@ -1,0 +1,145 @@
+"""SageProject facade tests: the full lifecycle through one object."""
+
+import numpy as np
+import pytest
+
+from repro import SageProject
+from repro.apps import MatrixProvider, corner_turn_model, fft2d_model
+from repro.core.atot import GaConfig
+from repro.core.model import (
+    ApplicationModel,
+    FunctionBlock,
+    ModelError,
+    cspi_hardware,
+    round_robin_mapping,
+)
+from repro.core.runtime import DEFAULT_CONFIG
+
+FAST_GA = GaConfig(population=16, generations=4, seed=1)
+
+
+class TestLifecycle:
+    def test_full_pipeline(self):
+        n, nodes = 32, 2
+        project = SageProject(fft2d_model(n, nodes), platform="cspi", nodes=nodes)
+        project.validate()
+        atot = project.optimize(ga_config=FAST_GA)
+        assert atot.mapping is project.mapping
+        glue = project.generate()
+        assert glue.num_processors == nodes
+        provider = MatrixProvider(n, seed=1)
+        result = project.execute(iterations=2, input_provider=provider)
+        np.testing.assert_allclose(
+            result.full_result(0), np.fft.fft2(provider(0)), atol=1e-1
+        )
+        report = project.report()
+        assert "rowfft" in report
+        assert project.summary()["iterations"] == 2
+
+    def test_execute_without_generate_autogenerates(self):
+        project = SageProject(corner_turn_model(32, 2), nodes=2)
+        result = project.execute(iterations=1, config=DEFAULT_CONFIG.timing_only())
+        assert result.mean_latency > 0
+        assert project.glue is not None
+        assert project.mapping == round_robin_mapping(project.app, 2)
+
+    def test_execute_without_provider_switches_to_timing(self):
+        project = SageProject(corner_turn_model(32, 2), nodes=2)
+        result = project.execute(iterations=1)
+        assert result.full_result(0) is None  # phantom mode
+
+    def test_new_mapping_invalidates_glue(self):
+        project = SageProject(corner_turn_model(32, 2), nodes=2)
+        project.generate()
+        assert project.glue is not None
+        project.optimize(ga_config=FAST_GA)
+        assert project.glue is None
+
+    def test_use_explicit_mapping(self):
+        app = corner_turn_model(32, 2)
+        project = SageProject(app, nodes=2)
+        mapping = round_robin_mapping(app, 2)
+        project.use_mapping(mapping)
+        assert project.mapping is mapping
+        bad = round_robin_mapping(app, 2)
+        bad.assign(0, 0, 7)  # processor 7 does not exist on a 2-node machine
+        with pytest.raises(ModelError):
+            project.use_mapping(bad)
+
+    def test_report_before_execute_raises(self):
+        project = SageProject(corner_turn_model(32, 2), nodes=2)
+        with pytest.raises(ModelError, match="execute"):
+            project.report()
+        with pytest.raises(ModelError, match="execute"):
+            project.summary()
+
+    def test_validate_catches_bad_model(self):
+        app = ApplicationModel("bad")
+        blk = app.add_block(FunctionBlock("b", kernel="k"))
+        from repro.core.model import DataType
+
+        blk.add_in("in", DataType("m", "complex64", (4, 4)))
+        with pytest.raises(ModelError):
+            SageProject(app, nodes=2).validate()
+
+    def test_nodes_required_without_hardware(self):
+        with pytest.raises(ModelError, match="nodes"):
+            SageProject(corner_turn_model(32, 2))
+
+
+class TestProjectPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        n, nodes = 32, 2
+        path = str(tmp_path / "proj.json")
+        project = SageProject(fft2d_model(n, nodes), nodes=nodes)
+        project.optimize(ga_config=FAST_GA)
+        project.save(path)
+
+        restored = SageProject.load(path)
+        assert restored.nodes == nodes
+        assert restored.mapping == project.mapping
+        g1 = project.generate()
+        g2 = restored.generate()
+        assert g1.source == g2.source
+
+    def test_load_rejects_design_without_hardware(self, tmp_path):
+        from repro.core.model import save_design
+
+        path = str(tmp_path / "no_hw.json")
+        save_design(path, fft2d_model(32, 2))
+        with pytest.raises(ModelError, match="no hardware"):
+            SageProject.load(path)
+
+    def test_explicit_hardware_model(self):
+        hw = cspi_hardware(nodes=4)
+        project = SageProject(fft2d_model(32, 4), hardware=hw)
+        assert project.nodes == 4
+        result = project.execute(iterations=1)
+        assert result.makespan > 0
+
+
+class TestProjectHtmlReport:
+    def test_html_report_written(self, tmp_path):
+        project = SageProject(corner_turn_model(32, 2), nodes=2)
+        project.execute(iterations=1)
+        path = str(tmp_path / "report.html")
+        doc = project.html_report(path)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert open(path).read() == doc
+        assert "turn" in doc
+
+    def test_html_report_before_execute_raises(self):
+        project = SageProject(corner_turn_model(32, 2), nodes=2)
+        with pytest.raises(ModelError):
+            project.html_report()
+
+
+class TestProjectOptimizedGlue:
+    def test_optimize_buffers_flag_flows_through(self):
+        project = SageProject(corner_turn_model(256, 4), nodes=4)
+        default = project.generate(optimize_buffers=False)
+        r_default = project.execute(iterations=2)
+        optimized = project.generate(optimize_buffers=True)
+        r_opt = project.execute(iterations=2)
+        assert optimized.optimize_buffers
+        assert r_opt.mean_latency < r_default.mean_latency

@@ -1,0 +1,129 @@
+"""Model validation tests."""
+
+import pytest
+
+from repro.core.model import (
+    ApplicationModel,
+    DataType,
+    FunctionBlock,
+    ModelError,
+    REPLICATED,
+    striped,
+    validate_application,
+)
+
+MTYPE = DataType("m", "complex64", (16, 16))
+
+
+def minimal_app():
+    app = ApplicationModel("app")
+    src = app.add_block(FunctionBlock("src", kernel="matrix_source"))
+    src.add_out("out", MTYPE)
+    snk = app.add_block(FunctionBlock("snk", kernel="matrix_sink"))
+    snk.add_in("in", MTYPE)
+    app.connect(src.port("out"), snk.port("in"))
+    return app
+
+
+def test_valid_app_passes():
+    assert all(i.severity != "error" for i in validate_application(minimal_app()))
+
+
+def test_empty_app_is_error():
+    with pytest.raises(ModelError, match="no function blocks"):
+        validate_application(ApplicationModel("empty"))
+
+
+def test_dangling_input_is_error():
+    app = minimal_app()
+    lonely = app.add_block(FunctionBlock("lonely", kernel="k"))
+    lonely.add_in("in", MTYPE)
+    with pytest.raises(ModelError, match="not connected"):
+        validate_application(app)
+
+
+def test_dangling_output_is_only_warning():
+    app = minimal_app()
+    tee = app.add_block(FunctionBlock("tee", kernel="k"))
+    tee.add_in("in", MTYPE)
+    tee.add_out("unused", MTYPE)
+    app.connect(app.children["src"].port("out"), tee.port("in"))
+    # still strict-passes: unused OUT is a warning
+    issues = validate_application(app, strict=False)
+    warnings = [i for i in issues if i.severity == "warning"]
+    assert any("not connected" in i.message for i in warnings)
+
+
+def test_size_mismatch_is_error():
+    app = ApplicationModel("app")
+    src = app.add_block(FunctionBlock("src", kernel="k"))
+    src.add_out("out", DataType("a", "complex64", (8, 8)))
+    snk = app.add_block(FunctionBlock("snk", kernel="k"))
+    snk.add_in("in", DataType("b", "complex64", (16, 16)))
+    app.connect(src.port("out"), snk.port("in"))
+    with pytest.raises(ModelError, match="sizes differ"):
+        validate_application(app)
+
+
+def test_reshape_is_warning_not_error():
+    app = ApplicationModel("app")
+    src = app.add_block(FunctionBlock("src", kernel="k"))
+    src.add_out("out", DataType("a", "complex64", (4, 16)))
+    snk = app.add_block(FunctionBlock("snk", kernel="k"))
+    snk.add_in("in", DataType("b", "complex64", (8, 8)))
+    app.connect(src.port("out"), snk.port("in"))
+    issues = validate_application(app, strict=False)
+    assert any("reshape" in i.message for i in issues)
+    assert not any(i.severity == "error" for i in issues)
+
+
+def test_stripe_axis_out_of_range_is_error():
+    app = ApplicationModel("app")
+    src = app.add_block(FunctionBlock("src", kernel="k"))
+    vec = DataType("v", "float32", (16,))
+    src.add_out("out", vec)
+    bad = app.add_block(FunctionBlock("bad", kernel="k"))
+    bad.add_in("in", vec, striped(axis=1))  # axis 1 on a rank-1 type
+    app.connect(src.port("out"), bad.port("in"))
+    with pytest.raises(ModelError, match="out of range"):
+        validate_application(app)
+
+
+def test_more_threads_than_stripe_extent_is_error():
+    app = ApplicationModel("app")
+    src = app.add_block(FunctionBlock("src", kernel="k"))
+    small = DataType("s", "complex64", (2, 16))
+    src.add_out("out", small)
+    work = app.add_block(FunctionBlock("work", kernel="k", threads=4))
+    work.add_in("in", small, striped(0))  # 4 threads over 2 rows
+    app.connect(src.port("out"), work.port("in"))
+    with pytest.raises(ModelError, match="exceed stripe extent"):
+        validate_application(app)
+
+
+def test_double_writer_to_input_is_error():
+    app = minimal_app()
+    src2 = app.add_block(FunctionBlock("src2", kernel="k"))
+    src2.add_out("out", MTYPE)
+    app.connect(src2.port("out"), app.children["snk"].port("in"))
+    with pytest.raises(ModelError, match="multiple incoming"):
+        validate_application(app)
+
+
+def test_cycle_reported_through_validation():
+    app = ApplicationModel("cyc")
+    a = app.add_block(FunctionBlock("a", kernel="k"))
+    a.add_in("i", MTYPE)
+    a.add_out("o", MTYPE)
+    b = app.add_block(FunctionBlock("b", kernel="k"))
+    b.add_in("i", MTYPE)
+    b.add_out("o", MTYPE)
+    app.connect(a.port("o"), b.port("i"))
+    app.connect(b.port("o"), a.port("i"))
+    with pytest.raises(ModelError, match="cycle"):
+        validate_application(app)
+
+
+def test_strict_false_returns_issues_without_raising():
+    issues = validate_application(ApplicationModel("empty"), strict=False)
+    assert any(i.severity == "error" for i in issues)
