@@ -1,0 +1,49 @@
+"""Bench: the R1 fault-tolerance experiment at quick protocol.
+
+The headline contrasts must hold at any scale: fail_fast dies under
+sustained loss and under a node crash, while retry and checkpoint_restart
+complete every seeded run — at a bounded, reported overhead.
+"""
+
+from repro.experiments import format_fault_tolerance, run_fault_tolerance
+
+
+def test_fault_tolerance_quick(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fault_tolerance(
+            nodes=4, size=32, iterations=3, seeds=(11, 12),
+            loss_rates=(0.05,),
+        ),
+        iterations=1, rounds=1,
+    )
+    by = {(p.app, p.scenario, p.policy): p for p in points}
+    apps = ("corner_turn", "fft2d")
+    # 2 apps x (baseline + 2x loss + 2x crash + degraded) rows.
+    assert len(points) == len(apps) * 6
+
+    for app in apps:
+        base = by[(app, "fault-free", "fail_fast")]
+        assert base.completion_rate == 1.0
+        assert base.overhead_pct == 0.0
+
+        lossy_ff = by[(app, "loss 5%", "fail_fast")]
+        lossy_rt = by[(app, "loss 5%", "retry")]
+        assert lossy_ff.completion_rate < 1.0
+        assert lossy_rt.completion_rate == 1.0
+        assert lossy_rt.retries > 0
+        assert lossy_rt.makespan_ms > base.makespan_ms
+
+        crash_ff = by[(app, "node crash", "fail_fast")]
+        crash_cr = by[(app, "node crash", "checkpoint_restart")]
+        assert crash_ff.completion_rate == 0.0
+        assert crash_cr.completion_rate == 1.0
+        assert crash_cr.restores > 0
+
+        degraded = by[(app, "link 0-1 @ 25%", "retry")]
+        assert degraded.completion_rate == 1.0
+        assert degraded.throughput < base.throughput
+
+    text = format_fault_tolerance(points)
+    assert "R1: fault tolerance" in text
+    assert "checkpoint_restart" in text
+    benchmark.extra_info["rows"] = len(points)

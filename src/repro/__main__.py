@@ -8,6 +8,7 @@ kernels      the software-shelf contents (ISSPL + structural + radar)
 generate     load a design document, run the Alter glue generator, save glue
 run          load a design document and execute it on a simulated platform
 table1 / crossvendor / ablations / atot-study / period-latency
+fault-tolerance
              the paper-artifact experiments (see repro.experiments)
 """
 
@@ -129,6 +130,7 @@ _EXPERIMENTS = {
     "atot-study": "atot_study",
     "period-latency": "period_latency",
     "code-size": "code_size",
+    "fault-tolerance": "fault_tolerance",
 }
 
 

@@ -14,8 +14,9 @@ from .striping import (
 )
 from .buffers import BufferError, RuntimeBuffer
 from .kernels import KernelBinding, KernelError, ThreadContext, default_bindings
+from .policy import FAIL_FAST, FaultPolicy, TransportError
 from .probes import ProbeEvent, Trace
-from .kernel import RunResult, RuntimeError_, SageRuntime
+from .kernel import RECOVERABLE_FAULTS, RunResult, RuntimeError_, SageRuntime
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -37,8 +38,12 @@ __all__ = [
     "KernelError",
     "ThreadContext",
     "default_bindings",
+    "FAIL_FAST",
+    "FaultPolicy",
+    "TransportError",
     "ProbeEvent",
     "Trace",
+    "RECOVERABLE_FAULTS",
     "RunResult",
     "RuntimeError_",
     "SageRuntime",

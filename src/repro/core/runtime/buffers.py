@@ -153,6 +153,26 @@ class RuntimeBuffer:
             del self._pending_reads[iteration]
         return out
 
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep-copy the live backing state (checkpoint_restart support)."""
+        return {
+            "storage": {
+                k: (v.copy() if isinstance(v, np.ndarray) else v)
+                for k, v in self._storage.items()
+            },
+            "pending": dict(self._pending_reads),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Reset the backing state to a :meth:`snapshot` (copies again, so a
+        snapshot can be restored more than once)."""
+        self._storage = {
+            k: (v.copy() if isinstance(v, np.ndarray) else v)
+            for k, v in snap["storage"].items()
+        }
+        self._pending_reads = dict(snap["pending"])
+
     @property
     def live_iterations(self) -> int:
         return len(self._storage)

@@ -18,14 +18,20 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ...machine.cluster import SimCluster
-from ...machine.simulator import Environment, Event
+from ...machine.faults import FaultError, LinkFailure, TransientError
+from ...machine.simulator import Environment, Event, Interrupt, Process
 from ..codegen.generator import GlueModule
 from .buffers import RuntimeBuffer
 from .config import DEFAULT_CONFIG, RuntimeConfig
 from .kernels import KernelBinding, KernelError, ThreadContext, default_bindings
+from .policy import FAIL_FAST, FaultPolicy, TransportError
 from .probes import ProbeEvent, Trace
 
 __all__ = ["SageRuntime", "RunResult", "RuntimeError_"]
+
+#: Faults the checkpoint_restart policy may replay through.  Genuine bugs
+#: (KernelError, RuntimeError_, MemoryError, ...) always propagate.
+RECOVERABLE_FAULTS = (FaultError, TransportError)
 
 
 class RuntimeError_(RuntimeError):
@@ -102,6 +108,7 @@ class SageRuntime:
         config: RuntimeConfig = DEFAULT_CONFIG,
         bindings: Optional[Dict[str, KernelBinding]] = None,
         trace: Optional[Trace] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ):
         if glue.num_processors > len(cluster):
             raise RuntimeError_(
@@ -118,6 +125,12 @@ class SageRuntime:
         if bindings:
             self.bindings.update(bindings)
         self.trace = trace if trace is not None else Trace()
+        self.fault_policy = fault_policy if fault_policy is not None else FAIL_FAST
+        self._live_procs: List[Process] = []
+        if cluster.faults is not None:
+            # Mirror every injected fault into the trace so recovery is
+            # visible next to the enter/exit/send spans on the timeline.
+            cluster.faults.subscribe(self._on_fault_injected)
 
         self.functions: Dict[int, dict] = {e["id"]: e for e in glue.function_table}
         for entry in glue.function_table:
@@ -234,38 +247,116 @@ class SageRuntime:
         self._input_provider = input_provider
         self._source_interval = source_interval
 
-        sink_thread_count = sum(self.functions[f]["threads"] for f in self.sink_ids)
+        if self.fault_policy.checkpoints:
+            return self._run_checkpointed(iterations)
+
         procs = []
         for k in range(iterations):
-            self._iter_complete[k] = self.env.event()
-            self._iter_sinks_left[k] = sink_thread_count
-            for fid in self.glue.execution_order:
-                entry = self.functions[fid]
-                for t in range(entry["threads"]):
-                    self._thread_done[(fid, t, k)] = self.env.event()
-            for fid in self.glue.execution_order:
-                entry = self.functions[fid]
-                for t in range(entry["threads"]):
-                    procs.append(
-                        self.env.process(
-                            self._thread_proc(fid, t, k),
-                            name=f"{entry['name']}[{t}]#{k}",
-                        )
-                    )
+            procs.extend(self._spawn_iteration(k))
         done = self.env.all_of(procs)
         self.env.run(until=done)
-        makespan = self.env.now
+        return self._build_result(iterations)
+
+    def _spawn_iteration(self, k: int) -> List[Process]:
+        """Create iteration ``k``'s bookkeeping events and thread processes."""
+        sink_thread_count = sum(self.functions[f]["threads"] for f in self.sink_ids)
+        self._iter_complete[k] = self.env.event()
+        self._iter_sinks_left[k] = sink_thread_count
+        for fid in self.glue.execution_order:
+            entry = self.functions[fid]
+            for t in range(entry["threads"]):
+                self._thread_done[(fid, t, k)] = self.env.event()
+        procs = []
+        for fid in self.glue.execution_order:
+            entry = self.functions[fid]
+            for t in range(entry["threads"]):
+                procs.append(
+                    self.env.process(
+                        self._thread_proc(fid, t, k),
+                        name=f"{entry['name']}[{t}]#{k}",
+                    )
+                )
+        self._live_procs = list(procs)
+        return procs
+
+    def _build_result(self, iterations: int) -> RunResult:
         return RunResult(
             iterations=iterations,
             source_times=[self._source_times[k] for k in range(iterations)],
             sink_times=[self._sink_times[k] for k in range(iterations)],
             sink_results=[self._sink_results.get(k) for k in range(iterations)],
-            makespan=makespan,
+            makespan=self.env.now,
             trace=self.trace,
+        )
+
+    # -- checkpoint / restart ---------------------------------------------------
+    def _run_checkpointed(self, iterations: int) -> RunResult:
+        """Sequential execution with per-iteration checkpoints and replay.
+
+        Virtual time never rewinds: a replayed iteration re-executes *after*
+        the fault, so recovery overhead shows up in the makespan and in the
+        latency of the affected iteration (source admission keeps its
+        first-attempt timestamp).
+        """
+        policy = self.fault_policy
+        restarts_left = policy.max_restarts
+        for k in range(iterations):
+            while True:
+                snapshot = [buf.snapshot() for buf in self.buffers]
+                self._probe_runtime("checkpoint", detail=f"iteration {k}",
+                                    iteration=k)
+                procs = self._spawn_iteration(k)
+                try:
+                    self.env.run(until=self.env.all_of(procs))
+                    break
+                except RECOVERABLE_FAULTS as exc:
+                    if restarts_left <= 0:
+                        raise
+                    restarts_left -= 1
+                    self._recover(k, snapshot, exc)
+        return self._build_result(iterations)
+
+    def _recover(self, k: int, snapshot: List[dict], exc: BaseException) -> None:
+        """Roll iteration ``k`` back to its checkpoint after a fault."""
+        # Kill every straggler of the failed attempt before state is reset;
+        # they die at the current instant via the Interrupt handlers in
+        # _thread_proc/_transfer_proc, releasing any held resources.
+        for proc in self._live_procs:
+            if proc.is_alive:
+                proc.interrupt("fault recovery")
+        self._live_procs = []
+        injector = self.cluster.faults
+        if injector is not None:
+            injector.revive_all()
+            still_dead = injector.dead_nodes
+            if still_dead:
+                raise RuntimeError_(
+                    f"cannot recover iteration {k}: node(s) {still_dead} "
+                    f"failed permanently"
+                ) from exc
+        for buf, snap in zip(self.buffers, snapshot):
+            buf.restore(snap)
+        # Discard the failed attempt's partial outputs and bookkeeping.
+        self._sink_results.pop(k, None)
+        self._sink_times.pop(k, None)
+        self._arrivals = {
+            key: events for key, events in self._arrivals.items() if key[1] != k
+        }
+        self._probe_runtime(
+            "restore",
+            detail=f"iteration {k} after {type(exc).__name__}: {exc}",
+            iteration=k,
         )
 
     # -- per-thread process ---------------------------------------------------------
     def _thread_proc(self, fid: int, thread: int, iteration: int):
+        try:
+            yield from self._thread_body(fid, thread, iteration)
+        except Interrupt:
+            # Fault recovery killed this attempt; _recover resets all state.
+            return
+
+    def _thread_body(self, fid: int, thread: int, iteration: int):
         entry = self.functions[fid]
         node = self.cluster.node(self.processor_of(fid, thread))
         cfg = self.config
@@ -323,14 +414,33 @@ class SageRuntime:
         if copy_bytes:
             yield from node.copy(copy_bytes)
 
-        try:
-            outputs = binding.run(ctx, inputs)
-        except KernelError:
-            raise
-        except Exception as exc:
-            raise RuntimeError_(
-                f"kernel {entry['kernel']!r} of {entry['name']!r} failed: {exc}"
-            ) from exc
+        policy = self.fault_policy
+        attempts = 1 + (policy.max_retries if policy.mode != "fail_fast" else 0)
+        delay = policy.backoff
+        for attempt in range(1, attempts + 1):
+            try:
+                outputs = binding.run(ctx, inputs)
+                break
+            except TransientError as exc:
+                if attempt >= attempts:
+                    raise
+                self._probe_runtime(
+                    "retry",
+                    detail=(
+                        f"kernel {entry['kernel']} attempt {attempt}: {exc}"
+                    ),
+                    processor=node.index,
+                    iteration=iteration,
+                )
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                delay *= policy.backoff_factor
+            except KernelError:
+                raise
+            except Exception as exc:
+                raise RuntimeError_(
+                    f"kernel {entry['kernel']!r} of {entry['name']!r} failed: {exc}"
+                ) from exc
 
         if fid in self.source_ids:
             # "Latency ... from when the first data leaves the data source":
@@ -370,10 +480,11 @@ class SageRuntime:
                 key=lambda m: (m.dst_thread - thread) % max(1, buf.dst_threads),
             )
             for msg in msgs:
-                self.env.process(
+                proc = self.env.process(
                     self._transfer_proc(buf, msg, iteration, entry),
                     name=f"xfer:{buf.name}#{iteration}",
                 )
+                self._live_procs.append(proc)
 
         self._probe("exit", entry, thread, iteration, node.index)
         if fid in self.sink_ids:
@@ -394,6 +505,12 @@ class SageRuntime:
         return table.get((buf.buffer_id, thread), 0)
 
     def _transfer_proc(self, buf: RuntimeBuffer, msg, iteration: int, src_entry: dict):
+        try:
+            yield from self._transfer_body(buf, msg, iteration, src_entry)
+        except Interrupt:
+            return
+
+    def _transfer_body(self, buf: RuntimeBuffer, msg, iteration: int, src_entry: dict):
         src_proc = self.processor_of(buf.src_function, msg.src_thread)
         dst_proc = self.processor_of(buf.dst_function, msg.dst_thread)
         node = self.cluster.node(src_proc)
@@ -404,7 +521,7 @@ class SageRuntime:
             detail=buf.name, nbytes=msg.nbytes,
         )
         if src_proc != dst_proc:
-            yield from self.cluster.transfer(src_proc, dst_proc, msg.nbytes)
+            yield from self._deliver(buf, msg, iteration, src_proc, dst_proc)
         dst_entry = self.functions[buf.dst_function]
         self._probe(
             "arrive", dst_entry, msg.dst_thread, iteration, dst_proc,
@@ -413,6 +530,50 @@ class SageRuntime:
         events = self._arrival_events(buf, iteration, msg.dst_thread)
         index = buf.messages_to(msg.dst_thread).index(msg)
         events[index].succeed()
+
+    def _deliver(self, buf: RuntimeBuffer, msg, iteration: int,
+                 src_proc: int, dst_proc: int):
+        """Move one planned message across the fabric, retrying transient
+        losses when the policy allows (an ack-protocol model: the sender
+        observes the delivery verdict and retransmits)."""
+        policy = self.fault_policy
+        attempts = 1 + (policy.max_retries if policy.retries_transfers else 0)
+        delay = policy.backoff
+        failure: Any = None
+        for attempt in range(1, attempts + 1):
+            try:
+                outcome = yield from self.cluster.transfer(
+                    src_proc, dst_proc, msg.nbytes
+                )
+            except LinkFailure as exc:
+                # Link outages may heal; node crashes (NodeFailure) always
+                # propagate — the transfer level cannot restart a node.
+                if attempt >= attempts:
+                    raise
+                failure = exc
+            else:
+                if outcome.ok:
+                    return
+                failure = outcome.reason
+                if attempt >= attempts:
+                    break
+            self._probe_runtime(
+                "retry",
+                detail=(
+                    f"{buf.name}#{iteration} {src_proc}->{dst_proc} "
+                    f"attempt {attempt}: {failure}"
+                ),
+                processor=src_proc,
+                iteration=iteration,
+            )
+            if delay > 0:
+                yield self.env.timeout(delay)
+            delay *= policy.backoff_factor
+        raise TransportError(
+            f"message {buf.name}#{iteration} from processor {src_proc} to "
+            f"{dst_proc} undelivered: {failure}; gave up after {attempts} "
+            f"attempt(s) at t={self.env.now:.6f}"
+        )
 
     # -- helpers ---------------------------------------------------------------
     def _make_ctx(self, entry: dict, thread: int, iteration: int) -> ThreadContext:
@@ -470,5 +631,42 @@ class SageRuntime:
                 iteration=iteration,
                 detail=detail,
                 nbytes=nbytes,
+            )
+        )
+
+    def _probe_runtime(
+        self,
+        kind: str,
+        detail: str = "",
+        processor: int = -1,
+        iteration: int = -1,
+    ) -> None:
+        """Record a probe not tied to any application function (fault events,
+        retries, checkpoints)."""
+        self.trace.record(
+            ProbeEvent(
+                time=self.env.now,
+                kind=kind,
+                function="<runtime>",
+                function_id=-1,
+                thread=0,
+                processor=processor,
+                iteration=iteration,
+                detail=detail,
+            )
+        )
+
+    def _on_fault_injected(self, time: float, kind: str, detail: str,
+                           node: int) -> None:
+        self.trace.record(
+            ProbeEvent(
+                time=time,
+                kind="fault_injected",
+                function="<fault>",
+                function_id=-1,
+                thread=0,
+                processor=node,
+                iteration=-1,
+                detail=f"{kind}: {detail}",
             )
         )

@@ -1,0 +1,98 @@
+"""Fault-tolerance policies for the SAGE run-time kernel.
+
+Real deployments of SAGE-generated code ran on embedded VxWorks systems
+where a node or fabric failure mid-mission had to be survivable.  The
+run-time therefore executes under one of three :class:`FaultPolicy` modes:
+
+* ``fail_fast`` — the historical behaviour: the first fault aborts the run
+  with a legible error naming the failed component and the virtual time.
+* ``retry`` — transient faults (lost/corrupted messages, transient link
+  outages, kernels raising
+  :class:`~repro.machine.faults.TransientError`) are retried in place with
+  exponential backoff; node crashes still abort.
+* ``checkpoint_restart`` — iterations execute sequentially; buffer state is
+  snapshotted at every iteration boundary and, after a recoverable fault
+  (including a node crash — the crashed node is restarted unless the plan
+  marked it permanent), the iteration replays from the last good
+  checkpoint.  Virtual time never rewinds, so recovery overhead is visible
+  in the makespan, and ``checkpoint`` / ``restore`` probe events make it
+  visible on the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultPolicy", "FAIL_FAST", "TransportError", "POLICY_MODES"]
+
+POLICY_MODES = ("fail_fast", "retry", "checkpoint_restart")
+
+
+class TransportError(RuntimeError):
+    """A runtime message could not be delivered (retries exhausted)."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the run-time responds to injected faults.
+
+    Attributes
+    ----------
+    mode:
+        One of ``"fail_fast"``, ``"retry"``, ``"checkpoint_restart"``.
+    max_retries:
+        Per-operation re-transmissions / kernel re-invocations (modes
+        ``retry`` and ``checkpoint_restart``).
+    backoff / backoff_factor:
+        First retry delay in virtual seconds and its exponential growth.
+    max_restarts:
+        Iteration replays allowed per run (``checkpoint_restart`` only)
+        before the underlying fault is re-raised.
+    """
+
+    mode: str = "fail_fast"
+    max_retries: int = 0
+    backoff: float = 1e-4
+    backoff_factor: float = 2.0
+    max_restarts: int = 3
+
+    def __post_init__(self):
+        if self.mode not in POLICY_MODES:
+            raise ValueError(f"mode must be one of {POLICY_MODES}, got {self.mode!r}")
+        if self.max_retries < 0 or self.max_restarts < 0:
+            raise ValueError("max_retries and max_restarts must be >= 0")
+        if self.backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def fail_fast(cls) -> "FaultPolicy":
+        """Abort on the first fault (the default)."""
+        return cls()
+
+    @classmethod
+    def retry(cls, max_retries: int = 3, backoff: float = 1e-4,
+              backoff_factor: float = 2.0) -> "FaultPolicy":
+        """Retry transient faults in place; crashes still abort."""
+        return cls(mode="retry", max_retries=max_retries, backoff=backoff,
+                   backoff_factor=backoff_factor)
+
+    @classmethod
+    def checkpoint_restart(cls, max_restarts: int = 3, max_retries: int = 2,
+                           backoff: float = 1e-4,
+                           backoff_factor: float = 2.0) -> "FaultPolicy":
+        """Snapshot at iteration boundaries; replay after recoverable faults."""
+        return cls(mode="checkpoint_restart", max_restarts=max_restarts,
+                   max_retries=max_retries, backoff=backoff,
+                   backoff_factor=backoff_factor)
+
+    @property
+    def retries_transfers(self) -> bool:
+        return self.mode in ("retry", "checkpoint_restart") and self.max_retries > 0
+
+    @property
+    def checkpoints(self) -> bool:
+        return self.mode == "checkpoint_restart"
+
+
+FAIL_FAST = FaultPolicy()

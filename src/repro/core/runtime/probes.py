@@ -17,7 +17,13 @@ from typing import Iterable, List, Optional
 
 __all__ = ["ProbeEvent", "Trace", "PROBE_KINDS"]
 
-PROBE_KINDS = ("enter", "exit", "send", "arrive", "source", "sink")
+PROBE_KINDS = (
+    "enter", "exit", "send", "arrive", "source", "sink",
+    # Fault-tolerance events (visible in the visualizer/timeline): a fault
+    # the machine layer injected, a retried transfer/kernel, an iteration
+    # checkpoint, and a replay from the last good checkpoint.
+    "fault_injected", "retry", "checkpoint", "restore",
+)
 
 
 @dataclass(frozen=True)

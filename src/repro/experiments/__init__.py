@@ -15,6 +15,11 @@ from .ablations import knob_study, optimized_glue_study, two_node_study
 from .atot_study import format_atot_study, radar_chain_model, run_atot_study
 from .period_latency import format_period_latency, run_period_latency
 from .code_size import count_sloc, format_code_size, run_code_size
+from .fault_tolerance import (
+    FaultPoint,
+    format_fault_tolerance,
+    run_fault_tolerance,
+)
 
 __all__ = [
     "APP_BUILDERS",
@@ -41,4 +46,7 @@ __all__ = [
     "count_sloc",
     "format_code_size",
     "run_code_size",
+    "FaultPoint",
+    "format_fault_tolerance",
+    "run_fault_tolerance",
 ]

@@ -20,6 +20,7 @@ from .ablations import (
 )
 from .atot_study import format_atot_study, run_atot_study
 from .crossvendor import format_crossvendor, run_crossvendor
+from .fault_tolerance import format_fault_tolerance, run_fault_tolerance
 from .period_latency import format_period_latency, run_period_latency
 from .runner import FULL_PROTOCOL
 from .table1 import format_table1, run_table1
@@ -49,6 +50,10 @@ def main(argv=None) -> int:
         ("atot.txt", lambda: format_atot_study(run_atot_study(generations=40))),
         ("period_latency.txt", lambda: format_period_latency(run_period_latency())),
         ("code_size.txt", lambda: _code_size_text()),
+        (
+            "fault_tolerance.txt",
+            lambda: format_fault_tolerance(run_fault_tolerance()),
+        ),
     ]
     for filename, job in jobs:
         t0 = time.time()

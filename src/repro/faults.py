@@ -1,0 +1,74 @@
+"""One-stop public API for the fault-injection and fault-tolerance subsystem.
+
+The implementation spans three layers (deliberately — each layer owns the
+failure modes it can observe):
+
+* :mod:`repro.machine.faults` — the deterministic :class:`FaultPlan` /
+  :class:`FaultInjector` that crash and hang nodes, drop and degrade links,
+  and sample per-message loss/corruption from a seeded RNG;
+* :mod:`repro.mpi` — receive/wait timeouts (:class:`MpiTimeoutError`),
+  integrity checking (:class:`CorruptionError`), and
+  :class:`RetryPolicy`-driven retransmission (:class:`DeliveryError`);
+* :mod:`repro.core.runtime` — the :class:`FaultPolicy` governing how
+  :class:`~repro.core.runtime.SageRuntime` responds: ``fail_fast``,
+  ``retry``, or ``checkpoint_restart``.
+
+Typical use::
+
+    from repro.faults import FaultPlan, FaultPolicy
+
+    plan = FaultPlan(seed=7).crash_node(2, at=0.005).message_loss(0.01)
+    cluster = SimCluster.from_platform(env, platform, fault_plan=plan)
+    rt = SageRuntime(glue, cluster,
+                     fault_policy=FaultPolicy.checkpoint_restart())
+"""
+
+from .core.runtime.kernel import RECOVERABLE_FAULTS
+from .core.runtime.policy import FAIL_FAST, POLICY_MODES, FaultPolicy, TransportError
+from .machine.faults import (
+    CORRUPTED,
+    DELIVERED,
+    LOST,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    LinkDegrade,
+    LinkDrop,
+    LinkFailure,
+    NodeCrash,
+    NodeFailure,
+    NodeHang,
+    TransientError,
+)
+from .machine.interconnect import TransferOutcome
+from .mpi.comm import RetryPolicy
+from .mpi.errors import CorruptionError, DeliveryError, MpiTimeoutError
+
+__all__ = [
+    # machine layer
+    "FaultPlan",
+    "FaultInjector",
+    "NodeCrash",
+    "NodeHang",
+    "LinkDrop",
+    "LinkDegrade",
+    "FaultError",
+    "NodeFailure",
+    "LinkFailure",
+    "TransientError",
+    "TransferOutcome",
+    "DELIVERED",
+    "LOST",
+    "CORRUPTED",
+    # mpi layer
+    "RetryPolicy",
+    "MpiTimeoutError",
+    "CorruptionError",
+    "DeliveryError",
+    # runtime layer
+    "FaultPolicy",
+    "FAIL_FAST",
+    "POLICY_MODES",
+    "TransportError",
+    "RECOVERABLE_FAULTS",
+]

@@ -13,8 +13,16 @@ from .simulator import (
     Timeout,
 )
 from .node import CpuSpec, SimNode
-from .interconnect import Fabric, FabricSpec, LinkSpec
+from .interconnect import Fabric, FabricSpec, LinkSpec, TransferOutcome
 from .cluster import SimCluster
+from .faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    LinkFailure,
+    NodeFailure,
+    TransientError,
+)
 from .platforms import PLATFORMS, PlatformSpec, cspi, get_platform, mercury, sigi, sky
 from . import perfmodel
 
@@ -34,7 +42,14 @@ __all__ = [
     "Fabric",
     "FabricSpec",
     "LinkSpec",
+    "TransferOutcome",
     "SimCluster",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFailure",
+    "NodeFailure",
+    "TransientError",
     "PLATFORMS",
     "PlatformSpec",
     "cspi",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
+from .faults import FaultInjector, FaultPlan
 from .interconnect import Fabric, FabricSpec
 from .node import CpuSpec, SimNode
 from .platforms import PlatformSpec
@@ -34,6 +35,7 @@ class SimCluster:
         nodes: int,
         board_map: Optional[Dict[int, int]] = None,
         name: str = "cluster",
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if nodes <= 0:
             raise ValueError("nodes must be positive")
@@ -56,6 +58,9 @@ class SimCluster:
             for i in range(nodes)
         ]
         self.fabric = Fabric(env, fabric_spec, boards)
+        self.faults: Optional[FaultInjector] = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            FaultInjector(env, fault_plan).install(self)
 
     @property
     def is_heterogeneous(self) -> bool:
@@ -64,7 +69,8 @@ class SimCluster:
 
     @classmethod
     def from_platform(
-        cls, env: Environment, platform: PlatformSpec, nodes: int
+        cls, env: Environment, platform: PlatformSpec, nodes: int,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "SimCluster":
         return cls(
             env=env,
@@ -73,6 +79,7 @@ class SimCluster:
             nodes=nodes,
             board_map=platform.board_map(nodes),
             name=platform.name,
+            fault_plan=fault_plan,
         )
 
     def __len__(self) -> int:
@@ -87,5 +94,10 @@ class SimCluster:
             ) from None
 
     def transfer(self, src: int, dst: int, nbytes: float):
-        """Generator: fabric transfer between two node indices."""
-        yield from self.fabric.transfer(src, dst, nbytes)
+        """Generator: fabric transfer between two node indices.
+
+        Returns the fabric's :class:`~repro.machine.interconnect.TransferOutcome`
+        (always a clean delivery unless a fault plan is installed).
+        """
+        outcome = yield from self.fabric.transfer(src, dst, nbytes)
+        return outcome

@@ -20,7 +20,30 @@ from typing import Dict, Tuple
 
 from .simulator import Environment, Resource
 
-__all__ = ["LinkSpec", "FabricSpec", "Fabric"]
+__all__ = ["LinkSpec", "FabricSpec", "Fabric", "TransferOutcome"]
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """What happened to one fabric transfer (fault layer verdict).
+
+    ``delivered`` is False when the payload was lost in transit (injected
+    message loss, or the destination node died mid-flight); ``corrupted``
+    marks a delivered-but-damaged payload.  ``reason`` is a short human
+    label for the failure mode.
+    """
+
+    delivered: bool = True
+    corrupted: bool = False
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.delivered and not self.corrupted
+
+
+#: The common case: no fault layer, clean delivery.
+_CLEAN = TransferOutcome()
 
 
 @dataclass(frozen=True)
@@ -82,6 +105,8 @@ class Fabric:
         self._inject: Dict[int, Resource] = {}
         self._eject: Dict[int, Resource] = {}
         self._shared: Resource = Resource(env, capacity=max(1, spec.shared_channels))
+        #: Optional FaultInjector consulted on every transfer.
+        self.faults = None
 
     def same_board(self, src: int, dst: int) -> bool:
         return self.boards.get(src) == self.boards.get(dst)
@@ -100,6 +125,19 @@ class Fabric:
             table[node] = port
         return port
 
+    def _acquire(self, resource: Resource):
+        """Sub-generator: interrupt-safe resource acquisition.
+
+        An exception thrown while suspended on the request (fault-recovery
+        interrupts) cancels the request so the port is never leaked.
+        """
+        req = resource.request()
+        try:
+            yield req
+        except BaseException:
+            resource.cancel(req)
+            raise
+
     def transfer(self, src: int, dst: int, nbytes: float):
         """Generator: move ``nbytes`` from ``src`` to ``dst``, with contention.
 
@@ -107,10 +145,23 @@ class Fabric:
         hierarchy, so concurrent transfers can never deadlock); the message
         holds all its resources for the full wire time, modelling wormhole
         head-of-line blocking.
+
+        Returns a :class:`TransferOutcome`.  With a fault layer installed,
+        the transfer may raise :class:`~repro.machine.faults.NodeFailure` /
+        :class:`~repro.machine.faults.LinkFailure` at injection time, run
+        slower over a degraded link, or come back undelivered/corrupted.
         """
-        duration = self.transfer_time(src, dst, nbytes)
-        if duration == 0.0:
-            return
+        faults = self.faults
+        if faults is not None:
+            faults.check_node(src)
+            faults.check_node(dst)
+            faults.check_link(src, dst)
+        if src == dst:
+            # Loopback: charged by the caller as a memory copy, not here.
+            return _CLEAN
+        link = self.spec.link_for(self.same_board(src, dst))
+        factor = faults.link_factor(src, dst) if faults is not None else 1.0
+        duration = link.sw_overhead + link.latency + nbytes / (link.bandwidth * factor)
         inject = self._port(self._inject, src)
         eject = self._port(self._eject, dst)
         shared = (
@@ -118,12 +169,12 @@ class Fabric:
             if (not self.spec.crossbar and not self.same_board(src, dst))
             else None
         )
-        yield inject.request()
+        yield from self._acquire(inject)
         try:
             if shared is not None:
-                yield shared.request()
+                yield from self._acquire(shared)
             try:
-                yield eject.request()
+                yield from self._acquire(eject)
                 try:
                     yield self.env.timeout(duration)
                 finally:
@@ -133,3 +184,17 @@ class Fabric:
                     shared.release()
         finally:
             inject.release()
+        if faults is None:
+            return _CLEAN
+        if not faults.alive(dst):
+            return TransferOutcome(delivered=False, reason=f"node {dst} died in flight")
+        if not faults.link_up(src, dst):
+            return TransferOutcome(
+                delivered=False, reason=f"link {src}<->{dst} dropped in flight"
+            )
+        verdict = faults.sample_delivery(src, dst, nbytes)
+        if verdict == "lost":
+            return TransferOutcome(delivered=False, reason="message lost")
+        if verdict == "corrupted":
+            return TransferOutcome(corrupted=True, reason="message corrupted")
+        return _CLEAN

@@ -87,6 +87,12 @@ class SimNode:
 
     def __post_init__(self):
         self.cpu = Resource(self.env, capacity=1)
+        #: Optional FaultInjector consulted before/after every operation.
+        self.faults = None
+
+    def _check_alive(self) -> None:
+        if self.faults is not None:
+            self.faults.check_node(self.index)
 
     @property
     def allocated_bytes(self) -> int:
@@ -111,16 +117,23 @@ class SimNode:
 
     def compute(self, flops: float, label: Optional[str] = None):
         """Generator: occupy the CPU for the modeled duration of ``flops``."""
+        self._check_alive()
         duration = self.spec.compute_time(flops)
         yield from self.cpu.use(duration)
+        # A crash that lands mid-operation surfaces when the work "completes".
+        self._check_alive()
 
     def copy(self, nbytes: float, label: Optional[str] = None):
         """Generator: occupy the CPU for a memory copy of ``nbytes``."""
+        self._check_alive()
         duration = self.spec.copy_time(nbytes)
         yield from self.cpu.use(duration)
+        self._check_alive()
 
     def busy(self, seconds: float):
         """Generator: occupy the CPU for an explicit duration."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
+        self._check_alive()
         yield from self.cpu.use(seconds)
+        self._check_alive()

@@ -182,9 +182,21 @@ class Process(Event):
     def _resume_interrupt(self, event: Event) -> None:
         if self.triggered:
             return  # finished in the meantime
+        # The process may have resumed and re-suspended on a new event since
+        # interrupt() detached it (e.g. it was waiting on an already-processed
+        # event whose queued resume could not be cancelled).  Detach from the
+        # current target too, or the stale callback would resume the process a
+        # second time after the Interrupt is delivered.
+        if self._target is not None:
+            target = self._target
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._target = None
         self._step(event.value, throw=True)
 
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return  # already finished (e.g. killed by an interrupt)
         self._target = None
         if event.ok:
             self._step(event.value, throw=False)
@@ -470,9 +482,36 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, request: Event) -> None:
+        """Abandon a pending or granted (but unconsumed) request.
+
+        Needed when the requesting process is interrupted while suspended on
+        the request event: a granted slot must be released and a queued
+        request withdrawn, or the resource leaks and every later requester
+        deadlocks.
+        """
+        if request.triggered:
+            # The slot was granted (possibly not yet observed): give it back.
+            self.release()
+            return
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+
     def use(self, duration: float):
-        """Generator helper: hold the resource for ``duration``."""
-        yield self.request()
+        """Generator helper: hold the resource for ``duration``.
+
+        Interrupt-safe: an :class:`Interrupt` (or any exception) thrown while
+        suspended on the request is translated into a cancellation, so the
+        slot is never leaked.
+        """
+        req = self.request()
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
         try:
             yield self.env.timeout(duration)
         finally:

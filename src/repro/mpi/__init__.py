@@ -5,8 +5,23 @@ point-to-point (blocking and nonblocking), the standard collectives, and the
 vendor-tuned all-to-all algorithms that dominate the corner-turn benchmark.
 """
 
-from .comm import ANY_SOURCE, ANY_TAG, Communicator, Message, MpiWorld, Request
-from .errors import MpiError, RankError, TruncationError
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    Message,
+    MpiWorld,
+    Request,
+    RetryPolicy,
+)
+from .errors import (
+    CorruptionError,
+    DeliveryError,
+    MpiError,
+    MpiTimeoutError,
+    RankError,
+    TruncationError,
+)
 from .datatypes import copy_payload, payload_nbytes
 from . import collectives  # noqa: F401  (binds collective methods onto Communicator)
 from .vendor import ALGORITHMS, get_algorithm
@@ -18,9 +33,13 @@ __all__ = [
     "Message",
     "MpiWorld",
     "Request",
+    "RetryPolicy",
     "MpiError",
     "RankError",
     "TruncationError",
+    "MpiTimeoutError",
+    "CorruptionError",
+    "DeliveryError",
     "copy_payload",
     "payload_nbytes",
     "ALGORITHMS",

@@ -25,20 +25,59 @@ semantics, like the small-message eager protocol of the vendor MPIs in §3.1);
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..machine.cluster import SimCluster
 from ..machine.simulator import Environment, Event, Process
 from .datatypes import ANY_SOURCE, ANY_TAG, copy_payload, payload_nbytes
-from .errors import MpiError, RankError
+from .errors import (
+    CorruptionError,
+    DeliveryError,
+    MpiError,
+    MpiTimeoutError,
+    RankError,
+    TruncationError,
+)
 
-__all__ = ["Message", "Request", "Communicator", "MpiWorld", "ANY_SOURCE", "ANY_TAG"]
+__all__ = [
+    "Message",
+    "Request",
+    "RetryPolicy",
+    "Communicator",
+    "MpiWorld",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-exponential-backoff for p2p sends over lossy links.
+
+    A send governed by a policy re-transmits when the fabric reports the
+    payload lost (or the link transiently down), sleeping ``backoff``
+    seconds before the first retry and multiplying by ``factor`` each
+    attempt.  After ``max_attempts`` total transmissions it raises
+    :class:`~repro.mpi.errors.DeliveryError`.
+    """
+
+    max_attempts: int = 4
+    backoff: float = 1e-4
+    factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0 or self.factor < 1:
+            raise ValueError("backoff must be >= 0 and factor >= 1")
 
 
 class Message:
     """An in-flight or buffered message."""
 
-    __slots__ = ("source", "dest", "tag", "data", "nbytes", "sent_at", "arrived_at")
+    __slots__ = ("source", "dest", "tag", "data", "nbytes", "sent_at",
+                 "arrived_at", "corrupted")
 
     def __init__(self, source: int, dest: int, tag: int, data: Any, sent_at: float):
         self.source = source
@@ -48,6 +87,7 @@ class Message:
         self.nbytes = payload_nbytes(data)
         self.sent_at = sent_at
         self.arrived_at: Optional[float] = None
+        self.corrupted = False
 
     def matches(self, source: int, tag: int) -> bool:
         return (source == ANY_SOURCE or source == self.source) and (
@@ -66,14 +106,43 @@ class Request:
     def complete(self) -> bool:
         return self._event.processed
 
-    def wait(self) -> Generator:
-        """Sub-generator: block until the operation finishes; returns its value."""
-        value = yield self._event
-        return value
+    def wait(self, timeout: Optional[float] = None) -> Generator:
+        """Sub-generator: block until the operation finishes; returns its value.
+
+        With ``timeout`` set, raises
+        :class:`~repro.mpi.errors.MpiTimeoutError` if the operation has not
+        completed within ``timeout`` virtual seconds (the operation itself
+        keeps running in the background).
+        """
+        if timeout is None:
+            value = yield self._event
+            return value
+        if timeout <= 0:
+            raise MpiError("timeout must be positive")
+        which, value = yield self._env.any_of(
+            [self._event, self._env.timeout(timeout)]
+        )
+        if which == 0:
+            return value
+        if self._event.triggered:  # completed at the same instant
+            if not self._event.ok:
+                raise self._event.value
+            return self._event.value
+        raise MpiTimeoutError(
+            f"request did not complete within {timeout:g}s "
+            f"(t={self._env.now:.6f})"
+        )
 
     def test(self) -> Tuple[bool, Any]:
-        """Nonblocking completion probe (flag, value-or-None)."""
+        """Nonblocking completion probe (flag, value-or-None).
+
+        Like ``MPI_Test``, a failed operation surfaces here: if the
+        underlying operation raised, ``test()`` re-raises that exception
+        rather than returning the exception object as a value.
+        """
         if self._event.processed:
+            if not self._event.ok:
+                raise self._event.value
             return True, self._event.value
         return False, None
 
@@ -140,6 +209,12 @@ class Communicator:
         self.size = len(self.members) if self.members is not None else world.size
         self.bytes_sent = 0
         self.messages_sent = 0
+        #: Deadline applied to every recv/wait (and hence every collective)
+        #: when the call itself passes no explicit timeout.  None = block
+        #: forever (the pre-fault-tolerance behaviour).
+        self.default_timeout: Optional[float] = None
+        #: Default :class:`RetryPolicy` for p2p sends (None = fire and forget).
+        self.retry_policy: Optional[RetryPolicy] = None
 
     # -- small helpers ----------------------------------------------------
     @property
@@ -171,47 +246,105 @@ class Communicator:
             msg.source = self.members.index(msg.source)
         return msg
 
+    def _effective_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        return self.default_timeout if timeout is None else timeout
+
     # -- point-to-point ----------------------------------------------------
-    def send(self, data: Any, dest: int, tag: int = 0) -> Generator:
-        """Blocking buffered send (sub-generator)."""
-        yield from self.world._send(
-            self.global_rank, self._g(dest), tag, data, comm=self, context=self.context
+    def send(self, data: Any, dest: int, tag: int = 0,
+             retry: Optional[RetryPolicy] = None) -> Generator:
+        """Blocking buffered send (sub-generator).
+
+        Without a retry policy the send is fire-and-forget: over a lossy
+        fabric the payload may silently vanish (the receiver's timeout
+        machinery is then the only detector).  With ``retry`` (or a
+        communicator-level ``retry_policy``) the sender observes the
+        delivery outcome and re-transmits with exponential backoff, raising
+        :class:`~repro.mpi.errors.DeliveryError` once attempts are
+        exhausted.
+        """
+        policy = retry if retry is not None else self.retry_policy
+        dest_g = self._g(dest)
+        if policy is None:
+            yield from self.world._send(
+                self.global_rank, dest_g, tag, data, comm=self, context=self.context
+            )
+            return
+        from ..machine.faults import LinkFailure
+
+        delay = policy.backoff
+        failure = "undelivered"
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                delay *= policy.factor
+            try:
+                outcome = yield from self.world._send(
+                    self.global_rank, dest_g, tag, data,
+                    comm=self, context=self.context,
+                )
+            except LinkFailure as exc:
+                failure = str(exc)  # transient outage: back off and retry
+                continue
+            if outcome is None or outcome.delivered:
+                return
+            failure = outcome.reason or "message lost"
+        raise DeliveryError(
+            f"rank {self.rank}: send to rank {dest} tag {tag} failed after "
+            f"{policy.max_attempts} attempt(s) at t={self.env.now:.6f}: {failure}"
         )
 
-    def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+    def isend(self, data: Any, dest: int, tag: int = 0,
+              retry: Optional[RetryPolicy] = None) -> Request:
         """Nonblocking send; the transfer proceeds as a background process."""
-        dest_g = self._g(dest)
         proc = self.env.process(
-            self.world._send(
-                self.global_rank, dest_g, tag, data, comm=self, context=self.context
-            ),
+            self.send(data, dest, tag=tag, retry=retry),
             name=f"isend r{self.rank}->r{dest} tag{tag}",
         )
         return Request(self.env, proc)
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
-        """Blocking receive (sub-generator returning the payload)."""
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: Optional[float] = None,
+             max_bytes: Optional[int] = None) -> Generator:
+        """Blocking receive (sub-generator returning the payload).
+
+        ``timeout`` (or the communicator's ``default_timeout``) bounds the
+        wait, raising :class:`~repro.mpi.errors.MpiTimeoutError` on expiry
+        instead of wedging the event loop.  ``max_bytes`` models a sized
+        receive buffer: a matched message larger than it raises
+        :class:`~repro.mpi.errors.TruncationError`.
+        """
         msg = yield from self.world._recv(
-            self.global_rank, self._g_source(source), tag, self.context
+            self.global_rank, self._g_source(source), tag, self.context,
+            timeout=self._effective_timeout(timeout), max_bytes=max_bytes,
         )
         return msg.data
 
-    def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+    def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                 timeout: Optional[float] = None) -> Generator:
         """Like :meth:`recv` but returns the full :class:`Message` envelope."""
         msg = yield from self.world._recv(
-            self.global_rank, self._g_source(source), tag, self.context
+            self.global_rank, self._g_source(source), tag, self.context,
+            timeout=self._effective_timeout(timeout),
         )
         return self._localize(msg)
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        """Nonblocking receive; ``wait()`` returns the payload."""
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              max_bytes: Optional[int] = None) -> Request:
+        """Nonblocking receive; ``wait()`` returns the payload.
+
+        Truncation and corruption checks run when the message is matched, so
+        the resulting errors propagate through ``wait()``/``test()``.
+        """
         done = self.env.event()
         self.world._mailbox(self.global_rank, self.context).match(
             self._g_source(source), tag, done
         )
+        rank = self.rank
 
         def unwrap():
             msg = yield done
+            _check_integrity(msg, rank, max_bytes)
             return msg.data
 
         proc = self.env.process(unwrap(), name=f"irecv r{self.rank} tag{tag}")
@@ -254,8 +387,10 @@ class Communicator:
         box.match(self._g_source(source), tag, done)
         which, value = yield self.env.any_of([done, self.env.timeout(timeout)])
         if which == 0:
+            _check_integrity(value, self.rank, None)
             return value.data, True
         if done.triggered:  # arrived at the same instant the clock expired
+            _check_integrity(done.value, self.rank, None)
             return done.value.data, True
         box.cancel(done)
         return None, False
@@ -295,20 +430,44 @@ class Communicator:
         context = self.world._intern_context(
             (self.context, color, tuple(members))
         )
-        return Communicator(
+        sub = Communicator(
             self.world, members.index(self.global_rank), members=members,
             context=context,
         )
+        sub.default_timeout = self.default_timeout
+        sub.retry_policy = self.retry_policy
+        return sub
 
     # -- collectives (implemented in collectives.py, bound here) -------------
     # These are assigned at import time at the bottom of collectives.py to
     # keep the two files separately readable; see that module for semantics.
 
 
-class MpiWorld:
-    """The set of ranks over a simulated cluster."""
+def _check_integrity(msg: Message, rank: int, max_bytes: Optional[int]) -> None:
+    """Receiver-side checks: sized-buffer truncation and corruption detect."""
+    if max_bytes is not None and msg.nbytes > max_bytes:
+        raise TruncationError(
+            f"rank {rank}: matched message of {msg.nbytes} bytes exceeds "
+            f"receive buffer of {max_bytes} bytes "
+            f"(source {msg.source}, tag {msg.tag})"
+        )
+    if msg.corrupted:
+        raise CorruptionError(
+            f"rank {rank}: message from rank {msg.source} tag {msg.tag} "
+            f"failed integrity check (corrupted in transit)"
+        )
 
-    def __init__(self, cluster: SimCluster):
+
+class MpiWorld:
+    """The set of ranks over a simulated cluster.
+
+    ``default_timeout`` / ``retry_policy`` seed every rank communicator's
+    fault-tolerance defaults (see :class:`Communicator`).
+    """
+
+    def __init__(self, cluster: SimCluster,
+                 default_timeout: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.cluster = cluster
         self.env: Environment = cluster.env
         self.size = len(cluster)
@@ -316,6 +475,9 @@ class MpiWorld:
         self._contexts: Dict[Any, int] = {}
         self._procs: List[Process] = []
         self.comms: List[Communicator] = [Communicator(self, r) for r in range(self.size)]
+        for comm in self.comms:
+            comm.default_timeout = default_timeout
+            comm.retry_policy = retry_policy
         self.total_bytes = 0
         self.total_messages = 0
 
@@ -379,18 +541,45 @@ class MpiWorld:
         comm.messages_sent += 1
         self.total_bytes += msg.nbytes
         self.total_messages += 1
+        outcome = None
         if src == dest:
             # Loopback: one memory copy on the local node.
             yield from self.cluster.node(src).copy(msg.nbytes)
         else:
-            yield from self.cluster.transfer(src, dest, msg.nbytes)
+            outcome = yield from self.cluster.transfer(src, dest, msg.nbytes)
+            if outcome is not None and not outcome.delivered:
+                # Lost in transit: the wire time was spent, nothing arrives.
+                return outcome
+            if outcome is not None and outcome.corrupted:
+                msg.corrupted = True
         msg.arrived_at = self.env.now
         self._mailbox(dest, context).deliver(msg)
+        return outcome
 
-    def _recv(self, rank: int, source: int, tag: int, context: int = 0):
+    def _recv(self, rank: int, source: int, tag: int, context: int = 0,
+              timeout: Optional[float] = None,
+              max_bytes: Optional[int] = None):
         if source != ANY_SOURCE and not (0 <= source < self.size):
             raise RankError(f"source rank {source} out of range [0, {self.size})")
+        box = self._mailbox(rank, context)
         done = self.env.event()
-        self._mailbox(rank, context).match(source, tag, done)
-        msg = yield done
+        box.match(source, tag, done)
+        if timeout is None:
+            msg = yield done
+        else:
+            if timeout <= 0:
+                raise MpiError("timeout must be positive")
+            which, value = yield self.env.any_of([done, self.env.timeout(timeout)])
+            if which == 0:
+                msg = value
+            elif done.triggered:  # matched at the same instant the clock expired
+                msg = done.value
+            else:
+                box.cancel(done)
+                src_label = "ANY_SOURCE" if source == ANY_SOURCE else source
+                raise MpiTimeoutError(
+                    f"rank {rank}: recv(source={src_label}, tag={tag}) timed "
+                    f"out after {timeout:g}s at t={self.env.now:.6f}"
+                )
+        _check_integrity(msg, rank, max_bytes)
         return msg
