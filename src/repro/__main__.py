@@ -8,7 +8,7 @@ kernels      the software-shelf contents (ISSPL + structural + radar)
 generate     load a design document, run the Alter glue generator, save glue
 run          load a design document and execute it on a simulated platform
 table1 / crossvendor / ablations / atot-study / period-latency
-fault-tolerance
+fault-tolerance / reconfiguration
              the paper-artifact experiments (see repro.experiments)
 """
 
@@ -131,6 +131,7 @@ _EXPERIMENTS = {
     "period-latency": "period_latency",
     "code-size": "code_size",
     "fault-tolerance": "fault_tolerance",
+    "reconfiguration": "reconfiguration",
 }
 
 

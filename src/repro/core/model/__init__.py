@@ -21,7 +21,13 @@ from .hardware import (
     cspi_hardware,
     from_platform,
 )
-from .mapping import Mapping, block_mapping, round_robin_mapping, single_node_mapping
+from .mapping import (
+    Mapping,
+    block_mapping,
+    round_robin_mapping,
+    shrink_mapping,
+    single_node_mapping,
+)
 from .shelves import Shelf, hardware_shelf, software_shelf
 from .serialization import (
     application_from_dict,
@@ -60,6 +66,7 @@ __all__ = [
     "Mapping",
     "block_mapping",
     "round_robin_mapping",
+    "shrink_mapping",
     "single_node_mapping",
     "Shelf",
     "hardware_shelf",

@@ -11,7 +11,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .application import ApplicationModel, FunctionInstance, ModelError
 
-__all__ = ["Mapping", "round_robin_mapping", "single_node_mapping", "block_mapping"]
+__all__ = [
+    "Mapping",
+    "round_robin_mapping",
+    "single_node_mapping",
+    "block_mapping",
+    "shrink_mapping",
+]
 
 ThreadKey = Tuple[int, int]  # (function_id, thread_index)
 
@@ -100,6 +106,30 @@ def single_node_mapping(app: ApplicationModel, processor: int = 0) -> Mapping:
         for t in range(inst.threads):
             mapping.assign(inst.function_id, t, processor)
     return mapping
+
+
+def shrink_mapping(mapping: Mapping, survivors: Iterable[int]) -> Mapping:
+    """Remap a mapping's threads off lost processors onto the survivors.
+
+    Threads already on a surviving processor stay put (their checkpointed
+    state needs no movement); orphaned threads — those mapped to a
+    processor not in ``survivors`` — are dealt round-robin across the
+    survivor list in deterministic ``(function_id, thread)`` order.  This
+    is the degraded-mode mapping the run-time's ``shrink_restripe`` policy
+    installs after a permanent node loss.
+    """
+    pool = sorted(set(survivors))
+    if not pool:
+        raise ModelError("shrink_mapping needs at least one survivor")
+    out = Mapping()
+    orphan = 0
+    for (fid, t), proc in mapping.items():
+        if proc in pool:
+            out.assign(fid, t, proc)
+        else:
+            out.assign(fid, t, pool[orphan % len(pool)])
+            orphan += 1
+    return out
 
 
 def block_mapping(app: ApplicationModel, processor_count: int) -> Mapping:

@@ -18,14 +18,17 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ...machine.cluster import SimCluster
-from ...machine.faults import FaultError, LinkFailure, TransientError
+from ...machine.faults import FaultError, LinkFailure, NodeFailure, TransientError
 from ...machine.simulator import Environment, Event, Interrupt, Process
+from ...mpi.detector import FailureDetector, HeartbeatConfig
 from ..codegen.generator import GlueModule
+from ..model.mapping import Mapping, shrink_mapping
 from .buffers import RuntimeBuffer
 from .config import DEFAULT_CONFIG, RuntimeConfig
 from .kernels import KernelBinding, KernelError, ThreadContext, default_bindings
 from .policy import FAIL_FAST, FaultPolicy, TransportError
 from .probes import ProbeEvent, Trace
+from .striping import plan_remote_traffic
 
 __all__ = ["SageRuntime", "RunResult", "RuntimeError_"]
 
@@ -127,6 +130,15 @@ class SageRuntime:
         self.trace = trace if trace is not None else Trace()
         self.fault_policy = fault_policy if fault_policy is not None else FAIL_FAST
         self._live_procs: List[Process] = []
+        # Shrinking recovery state: placement overrides installed after a
+        # permanent node loss (consulted by processor_of), the processors
+        # still in the working set, and the heartbeat detector race event.
+        self._proc_override: Dict[Tuple[int, int], int] = {}
+        self._active_processors = set(glue.thread_map.values())
+        self.detector: Optional[FailureDetector] = None
+        self._detect_event: Optional[Event] = None
+        self._suspect_probed: set = set()
+        self._dead_probed: set = set()
         if cluster.faults is not None:
             # Mirror every injected fault into the trace so recovery is
             # visible next to the enter/exit/send spans on the timeline.
@@ -164,22 +176,11 @@ class SageRuntime:
             self._check_memory_footprint()
 
         # Per-(buffer, thread) remote traffic (bytes crossing processors),
-        # used by the "remote" staging policies.
+        # used by the "remote" staging policies.  Recomputed after a shrink
+        # re-places threads.
         self._buf_send_remote: Dict[Tuple[int, int], int] = {}
         self._buf_recv_remote: Dict[Tuple[int, int], int] = {}
-        for buf in self.buffers:
-            for msg in buf.plan:
-                p_src = self.processor_of(buf.src_function, msg.src_thread)
-                p_dst = self.processor_of(buf.dst_function, msg.dst_thread)
-                if p_src != p_dst:
-                    s_key = (buf.buffer_id, msg.src_thread)
-                    d_key = (buf.buffer_id, msg.dst_thread)
-                    self._buf_send_remote[s_key] = (
-                        self._buf_send_remote.get(s_key, 0) + msg.nbytes
-                    )
-                    self._buf_recv_remote[d_key] = (
-                        self._buf_recv_remote.get(d_key, 0) + msg.nbytes
-                    )
+        self._compute_remote_tables()
 
     # -- setup helpers ---------------------------------------------------------
     def _identify_endpoints(self) -> None:
@@ -191,7 +192,25 @@ class SageRuntime:
         self.sink_ids = sinks
 
     def processor_of(self, function_id: int, thread: int) -> int:
+        override = self._proc_override.get((function_id, thread))
+        if override is not None:
+            return override
         return self.glue.processor_of(function_id, thread)
+
+    def _compute_remote_tables(self) -> None:
+        """(Re)build the per-(buffer, thread) cross-processor byte tables."""
+        self._buf_send_remote = {}
+        self._buf_recv_remote = {}
+        for buf in self.buffers:
+            send, recv = plan_remote_traffic(
+                buf.plan,
+                lambda t, f=buf.src_function: self.processor_of(f, t),
+                lambda t, f=buf.dst_function: self.processor_of(f, t),
+            )
+            for t, nbytes in send.items():
+                self._buf_send_remote[(buf.buffer_id, t)] = nbytes
+            for t, nbytes in recv.items():
+                self._buf_recv_remote[(buf.buffer_id, t)] = nbytes
 
     def memory_footprint(self) -> Dict[int, int]:
         """Per-processor physical-buffer bytes (each endpoint thread holds its
@@ -247,15 +266,19 @@ class SageRuntime:
         self._input_provider = input_provider
         self._source_interval = source_interval
 
-        if self.fault_policy.checkpoints:
-            return self._run_checkpointed(iterations)
+        self._start_detector()
+        try:
+            if self.fault_policy.checkpoints:
+                return self._run_checkpointed(iterations)
 
-        procs = []
-        for k in range(iterations):
-            procs.extend(self._spawn_iteration(k))
-        done = self.env.all_of(procs)
-        self.env.run(until=done)
-        return self._build_result(iterations)
+            procs = []
+            for k in range(iterations):
+                procs.extend(self._spawn_iteration(k))
+            done = self.env.all_of(procs)
+            self.env.run(until=done)
+            return self._build_result(iterations)
+        finally:
+            self._stop_detector()
 
     def _spawn_iteration(self, k: int) -> List[Process]:
         """Create iteration ``k``'s bookkeeping events and thread processes."""
@@ -307,7 +330,7 @@ class SageRuntime:
                                     iteration=k)
                 procs = self._spawn_iteration(k)
                 try:
-                    self.env.run(until=self.env.all_of(procs))
+                    self._run_iteration(procs)
                     break
                 except RECOVERABLE_FAULTS as exc:
                     if restarts_left <= 0:
@@ -315,6 +338,87 @@ class SageRuntime:
                     restarts_left -= 1
                     self._recover(k, snapshot, exc)
         return self._build_result(iterations)
+
+    def _run_iteration(self, procs: List[Process]) -> None:
+        """Run one iteration attempt, racing it against failure detection.
+
+        Without a detector this is a plain run-until-done.  With one, a
+        ``declare_dead`` verdict interrupts the attempt as a
+        :class:`~repro.machine.faults.NodeFailure` so recovery starts at the
+        detection time instead of whenever the dataflow happens to touch the
+        dead node (which, for a node others are merely *waiting on*, may be
+        never).
+        """
+        done = self.env.all_of(procs)
+        detect = self._detect_event
+        if detect is None:
+            self.env.run(until=done)
+            return
+        race = self.env.any_of([done, detect])
+        self.env.run(until=race)
+        index, value = race.value
+        if index == 1:
+            node, declared_at = value
+            raise NodeFailure(node, declared_at, self.env.now)
+
+    # -- failure detection -----------------------------------------------------
+    def _start_detector(self) -> None:
+        """Launch the heartbeat detector when the policy shrinks on loss."""
+        if (not self.fault_policy.shrinks or self.detector is not None
+                or len(self._active_processors) < 2):
+            return
+        policy = self.fault_policy
+        config = HeartbeatConfig(
+            period=policy.heartbeat_period,
+            miss_grace=policy.miss_grace,
+            threshold=policy.suspicion_threshold,
+        )
+        self.detector = FailureDetector(
+            self.cluster, config, ranks=sorted(self._active_processors)
+        )
+        self.detector.subscribe(self._on_detector_event)
+        self.detector.start()
+        self._detect_event = self.env.event()
+
+    def _stop_detector(self) -> None:
+        if self.detector is not None:
+            self.detector.stop()
+            self.detector = None
+            self._detect_event = None
+
+    def _on_detector_event(self, time: float, kind: str, observer: int,
+                           target: int, detail: str) -> None:
+        """Mirror detector verdicts into the trace and fire the race event.
+
+        Every observer forms its own opinion; the trace records only the
+        first suspicion / declaration per target (the cluster-wide verdict)
+        to keep the timeline legible.
+        """
+        if kind == "clear_suspect":
+            self._suspect_probed.discard(target)
+            return
+        if kind == "suspect":
+            if target not in self._suspect_probed:
+                self._suspect_probed.add(target)
+                self._probe_runtime(
+                    "suspect",
+                    detail=f"node {target} by observer {observer}: {detail}",
+                    processor=target,
+                )
+            return
+        if kind != "declare_dead":
+            return
+        if target not in self._dead_probed:
+            self._dead_probed.add(target)
+            self._probe_runtime(
+                "declare_dead",
+                detail=f"node {target} by observer {observer}: {detail}",
+                processor=target,
+            )
+        if target in self._active_processors:
+            ev = self._detect_event
+            if ev is not None and not ev.triggered:
+                ev.succeed((target, time))
 
     def _recover(self, k: int, snapshot: List[dict], exc: BaseException) -> None:
         """Roll iteration ``k`` back to its checkpoint after a fault."""
@@ -326,14 +430,34 @@ class SageRuntime:
                 proc.interrupt("fault recovery")
         self._live_procs = []
         injector = self.cluster.faults
+        revived: List[int] = []
         if injector is not None:
-            injector.revive_all()
+            revived = injector.revive_all()
             still_dead = injector.dead_nodes
             if still_dead:
-                raise RuntimeError_(
-                    f"cannot recover iteration {k}: node(s) {still_dead} "
-                    f"failed permanently"
-                ) from exc
+                if not self.fault_policy.shrinks:
+                    raise RuntimeError_(
+                        f"cannot recover iteration {k}: node(s) {still_dead} "
+                        f"failed permanently"
+                    ) from exc
+                lost = sorted(set(still_dead) & self._active_processors)
+                if lost:
+                    self._shrink_restripe(lost, k, exc)
+        if self.detector is not None:
+            for node in revived:
+                self.detector.clear(node)
+                self._suspect_probed.discard(node)
+                self._dead_probed.discard(node)
+            # Re-arm the detection race; a death declared while this
+            # recovery was in progress must not be lost to the fresh event.
+            self._detect_event = self.env.event()
+            pending = sorted(
+                n for n in self.detector.declared_dead()
+                if n in self._active_processors
+            )
+            if pending:
+                declared_at, _observer = self.detector.first_detection(pending[0])
+                self._detect_event.succeed((pending[0], declared_at))
         for buf, snap in zip(self.buffers, snapshot):
             buf.restore(snap)
         # Discard the failed attempt's partial outputs and bookkeeping.
@@ -346,6 +470,148 @@ class SageRuntime:
             "restore",
             detail=f"iteration {k} after {type(exc).__name__}: {exc}",
             iteration=k,
+        )
+
+    # -- shrinking recovery ------------------------------------------------------
+    def _shrink_restripe(self, dead: List[int], k: int, exc: BaseException) -> None:
+        """Drop permanently lost nodes and re-stripe onto the survivors.
+
+        Waits for the failure detector to actually *declare* each lost node
+        (recovery reacts to detection, never to the injector's ground truth,
+        so detection latency lands on the timeline), remaps the dead nodes'
+        threads via :func:`~repro.core.model.mapping.shrink_mapping`,
+        recomputes the staging-traffic tables for the new placement, and
+        charges the fabric transfers that redistribute the latest buffer
+        checkpoints from their ring mirrors to the new owners.
+        """
+        if self.detector is None:
+            raise RuntimeError_(
+                f"cannot shrink for iteration {k}: node(s) {sorted(dead)} "
+                f"failed permanently but no failure detector is running"
+            ) from exc
+        for node in sorted(dead):
+            self.env.run(until=self.detector.death_event(node))
+        survivors = sorted(self._active_processors - set(dead))
+        if not survivors:
+            raise RuntimeError_(
+                f"cannot shrink for iteration {k}: no surviving processors"
+            ) from exc
+        survivor_set = set(survivors)
+        ring = sorted(self._active_processors)
+
+        old_proc: Dict[Tuple[int, int], int] = {}
+        current = Mapping()
+        for fid, entry in sorted(self.functions.items()):
+            for t in range(entry["threads"]):
+                p = self.processor_of(fid, t)
+                old_proc[(fid, t)] = p
+                current.assign(fid, t, p)
+        new_map = shrink_mapping(current, survivors)
+        moved = 0
+        for (fid, t), p in new_map.items():
+            if p != old_proc[(fid, t)]:
+                self._proc_override[(fid, t)] = p
+                moved += 1
+        self._active_processors = survivor_set
+        self._probe_runtime(
+            "shrink",
+            detail=(
+                f"dropped node(s) {sorted(dead)}; {len(survivors)} "
+                f"survivor(s), {moved} thread(s) remapped"
+            ),
+            iteration=k,
+        )
+        self._compute_remote_tables()
+        if self.config.enforce_memory:
+            self._check_memory_footprint()
+
+        # Each region whose owning thread moved must be refilled from the
+        # checkpoint copy.  Checkpoints are ring-mirrored: the next live
+        # processor after the old owner (in pre-shrink processor order)
+        # holds the copy, so the refill is a real fabric transfer whose cost
+        # lands in the makespan.
+        def mirror_of(proc: int) -> int:
+            if proc in survivor_set:
+                return proc
+            i = ring.index(proc)
+            for step in range(1, len(ring)):
+                cand = ring[(i + step) % len(ring)]
+                if cand in survivor_set:
+                    return cand
+            raise RuntimeError_("no surviving mirror")  # pragma: no cover
+
+        transfers: List[Tuple[int, int, int, str]] = []
+        for buf in self.buffers:
+            for t in range(buf.src_threads):
+                key = (buf.src_function, t)
+                new = new_map.processor_of(*key)
+                if new != old_proc[key]:
+                    transfers.append(
+                        (mirror_of(old_proc[key]), new,
+                         buf.src_region_bytes(t), f"{buf.name}.src[{t}]")
+                    )
+            for t in range(buf.dst_threads):
+                key = (buf.dst_function, t)
+                new = new_map.processor_of(*key)
+                if new != old_proc[key]:
+                    transfers.append(
+                        (mirror_of(old_proc[key]), new,
+                         buf.dst_region_bytes(t), f"{buf.name}.dst[{t}]")
+                    )
+        procs = [
+            self.env.process(
+                self._restripe_transfer(src, dst, nbytes, label, k),
+                name=f"restripe:{label}",
+            )
+            for src, dst, nbytes, label in transfers
+            if src != dst and nbytes > 0
+        ]
+        if procs:
+            self.env.run(until=self.env.all_of(procs))
+        total = sum(nbytes for _, _, nbytes, _ in transfers)
+        self._probe_runtime(
+            "restripe",
+            detail=(
+                f"{len(transfers)} region(s) redistributed onto "
+                f"{len(survivors)} survivor(s)"
+            ),
+            iteration=k,
+            nbytes=total,
+        )
+
+    def _restripe_transfer(self, src: int, dst: int, nbytes: int,
+                           label: str, iteration: int):
+        """Move one checkpointed region to its new owner, with retries."""
+        policy = self.fault_policy
+        attempts = 1 + policy.max_retries
+        delay = policy.backoff
+        failure: Any = None
+        for attempt in range(1, attempts + 1):
+            try:
+                outcome = yield from self.cluster.transfer(src, dst, nbytes)
+            except LinkFailure as exc:
+                if attempt >= attempts:
+                    raise
+                failure = exc
+            else:
+                if outcome.ok:
+                    return
+                failure = outcome.reason
+                if attempt >= attempts:
+                    break
+            self._probe_runtime(
+                "retry",
+                detail=f"restripe {label} {src}->{dst} attempt {attempt}: {failure}",
+                processor=src,
+                iteration=iteration,
+            )
+            if delay > 0:
+                yield self.env.timeout(delay)
+            delay *= policy.backoff_factor
+        raise TransportError(
+            f"restripe transfer {label} from processor {src} to {dst} "
+            f"undelivered: {failure}; gave up after {attempts} attempt(s) "
+            f"at t={self.env.now:.6f}"
         )
 
     # -- per-thread process ---------------------------------------------------------
@@ -640,9 +906,10 @@ class SageRuntime:
         detail: str = "",
         processor: int = -1,
         iteration: int = -1,
+        nbytes: int = 0,
     ) -> None:
         """Record a probe not tied to any application function (fault events,
-        retries, checkpoints)."""
+        retries, checkpoints, detector verdicts, shrink/restripe)."""
         self.trace.record(
             ProbeEvent(
                 time=self.env.now,
@@ -653,6 +920,7 @@ class SageRuntime:
                 processor=processor,
                 iteration=iteration,
                 detail=detail,
+                nbytes=nbytes,
             )
         )
 

@@ -17,6 +17,14 @@ run-time therefore executes under one of three :class:`FaultPolicy` modes:
   checkpoint.  Virtual time never rewinds, so recovery overhead is visible
   in the makespan, and ``checkpoint`` / ``restore`` probe events make it
   visible on the timeline.
+* ``shrink_restripe`` — everything ``checkpoint_restart`` does, plus a
+  heartbeat failure detector (see :mod:`repro.mpi.detector`) and survival
+  of *permanent* node loss: once the detector declares a crashed node dead,
+  the run-time shrinks to the survivors, remaps the dead node's threads
+  (``shrink`` probe), recomputes the striping/staging plan, redistributes
+  the latest buffer checkpoints to the new owners over the fabric
+  (``restripe`` probe), and replays the interrupted iteration — the
+  application completes at degraded throughput instead of aborting.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from dataclasses import dataclass
 
 __all__ = ["FaultPolicy", "FAIL_FAST", "TransportError", "POLICY_MODES"]
 
-POLICY_MODES = ("fail_fast", "retry", "checkpoint_restart")
+POLICY_MODES = ("fail_fast", "retry", "checkpoint_restart", "shrink_restripe")
 
 
 class TransportError(RuntimeError):
@@ -46,8 +54,13 @@ class FaultPolicy:
     backoff / backoff_factor:
         First retry delay in virtual seconds and its exponential growth.
     max_restarts:
-        Iteration replays allowed per run (``checkpoint_restart`` only)
-        before the underlying fault is re-raised.
+        Iteration replays allowed per run (checkpointing modes) before the
+        underlying fault is re-raised.
+    heartbeat_period / miss_grace / suspicion_threshold:
+        ``shrink_restripe`` only — the knobs of the
+        :class:`~repro.mpi.detector.HeartbeatConfig` the run-time starts:
+        seconds between heartbeats, silence (in periods) counted as a miss,
+        and consecutive misses before a node is declared dead.
     """
 
     mode: str = "fail_fast"
@@ -55,6 +68,9 @@ class FaultPolicy:
     backoff: float = 1e-4
     backoff_factor: float = 2.0
     max_restarts: int = 3
+    heartbeat_period: float = 1e-4
+    miss_grace: float = 2.5
+    suspicion_threshold: int = 3
 
     def __post_init__(self):
         if self.mode not in POLICY_MODES:
@@ -63,6 +79,12 @@ class FaultPolicy:
             raise ValueError("max_retries and max_restarts must be >= 0")
         if self.backoff < 0 or self.backoff_factor < 1:
             raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
+        if self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
+        if self.miss_grace < 1:
+            raise ValueError("miss_grace must be >= 1")
+        if self.suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -86,13 +108,31 @@ class FaultPolicy:
                    max_retries=max_retries, backoff=backoff,
                    backoff_factor=backoff_factor)
 
+    @classmethod
+    def shrink_restripe(cls, max_restarts: int = 3, max_retries: int = 2,
+                        backoff: float = 1e-4, backoff_factor: float = 2.0,
+                        heartbeat_period: float = 1e-4, miss_grace: float = 2.5,
+                        suspicion_threshold: int = 3) -> "FaultPolicy":
+        """Checkpoint/replay plus shrinking recovery from permanent loss."""
+        return cls(mode="shrink_restripe", max_restarts=max_restarts,
+                   max_retries=max_retries, backoff=backoff,
+                   backoff_factor=backoff_factor,
+                   heartbeat_period=heartbeat_period, miss_grace=miss_grace,
+                   suspicion_threshold=suspicion_threshold)
+
     @property
     def retries_transfers(self) -> bool:
-        return self.mode in ("retry", "checkpoint_restart") and self.max_retries > 0
+        return (self.mode in ("retry", "checkpoint_restart", "shrink_restripe")
+                and self.max_retries > 0)
 
     @property
     def checkpoints(self) -> bool:
-        return self.mode == "checkpoint_restart"
+        return self.mode in ("checkpoint_restart", "shrink_restripe")
+
+    @property
+    def shrinks(self) -> bool:
+        """True when permanent node loss is survivable (``shrink_restripe``)."""
+        return self.mode == "shrink_restripe"
 
 
 FAIL_FAST = FaultPolicy()

@@ -23,6 +23,11 @@ PROBE_KINDS = (
     # the machine layer injected, a retried transfer/kernel, an iteration
     # checkpoint, and a replay from the last good checkpoint.
     "fault_injected", "retry", "checkpoint", "restore",
+    # Failure detection and shrinking recovery: the heartbeat detector
+    # suspecting / declaring a node dead, the run-time dropping dead nodes
+    # from the working set, and the re-striping that redistributes buffer
+    # checkpoints onto the survivors.
+    "suspect", "declare_dead", "shrink", "restripe",
 )
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "region_elems",
     "region_shape",
     "region_indexer",
+    "plan_remote_traffic",
 ]
 
 
@@ -268,3 +269,22 @@ def message_plan(
                     PlannedMessage(s, d, piece, region_elems(piece) * elem_bytes)
                 )
     return plan
+
+
+def plan_remote_traffic(plan, src_proc_of, dst_proc_of):
+    """Per-thread bytes of ``plan`` that cross processors under a placement.
+
+    ``src_proc_of(thread)`` / ``dst_proc_of(thread)`` give the processor of
+    the sending / receiving thread.  Returns two dicts,
+    ``(send_bytes_by_src_thread, recv_bytes_by_dst_thread)``, counting only
+    the hops whose endpoints land on different processors — the traffic the
+    run-time must stage through the fabric.  Recomputed by the shrinking
+    recovery path whenever the placement changes.
+    """
+    send: dict = {}
+    recv: dict = {}
+    for msg in plan:
+        if src_proc_of(msg.src_thread) != dst_proc_of(msg.dst_thread):
+            send[msg.src_thread] = send.get(msg.src_thread, 0) + msg.nbytes
+            recv[msg.dst_thread] = recv.get(msg.dst_thread, 0) + msg.nbytes
+    return send, recv

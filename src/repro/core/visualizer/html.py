@@ -22,6 +22,19 @@ _PALETTE = [
     "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
 ]
 
+#: Fault-tolerance events drawn as vertical markers on the timeline, in
+#: paint order: injected faults, detector verdicts, recovery milestones.
+_FAULT_MARKS = {
+    "fault_injected": "#d62728",
+    "suspect": "#e7ba52",
+    "declare_dead": "#843c39",
+    "checkpoint": "#1f77b4",
+    "shrink": "#9467bd",
+    "restripe": "#17becf",
+    "restore": "#2ca02c",
+    "retry": "#ff7f0e",
+}
+
 
 def _fmt(seconds: float) -> str:
     if seconds >= 1.0:
@@ -107,6 +120,24 @@ def render_html_report(
                 f"opacity='0.85'><title>{html_escape.escape(label)} "
                 f"[{_fmt(t0)} .. {_fmt(t1)}]</title></rect>"
             )
+    # Fault-tolerance markers: a vertical tick in the affected processor's
+    # lane (full-height when the event is cluster-wide, processor == -1).
+    fault_events = [e for e in result.trace if e.kind in _FAULT_MARKS]
+    for e in fault_events:
+        color = _FAULT_MARKS[e.kind]
+        xm = x(e.time)
+        if 0 <= e.processor < processors:
+            y0 = 10 + e.processor * lane_height
+            y1 = y0 + lane_height - 10
+        else:
+            y0, y1 = 10, processors * lane_height + 4
+        tip = f"{e.kind} @ {_fmt(e.time)}: {e.detail}" if e.detail else (
+            f"{e.kind} @ {_fmt(e.time)}")
+        parts.append(
+            f"<line x1='{xm:.2f}' y1='{y0}' x2='{xm:.2f}' y2='{y1}' "
+            f"stroke='{color}' stroke-width='2' stroke-dasharray='3,2'>"
+            f"<title>{html_escape.escape(tip)}</title></line>"
+        )
     # time axis labels
     for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
         t = t_min + frac * span
@@ -115,6 +146,29 @@ def render_html_report(
             f"text-anchor='middle'>{_fmt(t)}</text>"
         )
     parts.append("</svg>")
+
+    if fault_events:
+        parts.append("<div class='legend' style='margin-top:0.5em'>")
+        for kind in _FAULT_MARKS:
+            if any(e.kind == kind for e in fault_events):
+                parts.append(
+                    f"<span><span class='swatch' style='background:"
+                    f"{_FAULT_MARKS[kind]}'></span>{kind}</span>"
+                )
+        parts.append("</div>")
+        parts.append(
+            "<h2>Fault-tolerance events</h2><table><tr><th>time</th>"
+            "<th>kind</th><th>node</th><th>detail</th></tr>"
+        )
+        for e in fault_events:
+            node = f"P{e.processor}" if e.processor >= 0 else "-"
+            parts.append(
+                f"<tr><td>{_fmt(e.time)}</td>"
+                f"<td style='text-align:left'>{e.kind}</td><td>{node}</td>"
+                f"<td style='text-align:left'>"
+                f"{html_escape.escape(e.detail)}</td></tr>"
+            )
+        parts.append("</table>")
 
     # utilization + busy tables
     parts.append("<h2>Processor utilization</h2><table><tr><th>CPU</th>"

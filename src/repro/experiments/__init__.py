@@ -20,6 +20,15 @@ from .fault_tolerance import (
     format_fault_tolerance,
     run_fault_tolerance,
 )
+from .reconfiguration import (
+    DetectionPoint,
+    FalsePositivePoint,
+    ShrinkPoint,
+    format_reconfiguration,
+    run_detection_latency,
+    run_false_positives,
+    run_shrink_recovery,
+)
 
 __all__ = [
     "APP_BUILDERS",
@@ -49,4 +58,11 @@ __all__ = [
     "FaultPoint",
     "format_fault_tolerance",
     "run_fault_tolerance",
+    "DetectionPoint",
+    "FalsePositivePoint",
+    "ShrinkPoint",
+    "format_reconfiguration",
+    "run_detection_latency",
+    "run_false_positives",
+    "run_shrink_recovery",
 ]

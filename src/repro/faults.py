@@ -7,20 +7,26 @@ failure modes it can observe):
   :class:`FaultInjector` that crash and hang nodes, drop and degrade links,
   and sample per-message loss/corruption from a seeded RNG;
 * :mod:`repro.mpi` — receive/wait timeouts (:class:`MpiTimeoutError`),
-  integrity checking (:class:`CorruptionError`), and
-  :class:`RetryPolicy`-driven retransmission (:class:`DeliveryError`);
+  integrity checking (:class:`CorruptionError` / :class:`TruncationError`),
+  :class:`RetryPolicy`-driven retransmission (:class:`DeliveryError`), the
+  heartbeat :class:`FailureDetector`, and the ULFM-style failure semantics
+  (:class:`ProcessFailedError`, :class:`RevokedError`, ``Communicator.
+  revoke/agree/shrink``);
 * :mod:`repro.core.runtime` — the :class:`FaultPolicy` governing how
   :class:`~repro.core.runtime.SageRuntime` responds: ``fail_fast``,
-  ``retry``, or ``checkpoint_restart``.
+  ``retry``, ``checkpoint_restart``, or ``shrink_restripe``.
+
+The full error taxonomy is documented in ``docs/FAULTS.md``; the detector
+and shrinking recovery in ``docs/DETECTION.md``.
 
 Typical use::
 
     from repro.faults import FaultPlan, FaultPolicy
 
-    plan = FaultPlan(seed=7).crash_node(2, at=0.005).message_loss(0.01)
+    plan = FaultPlan(seed=7).crash_node(2, at=0.005, permanent=True)
     cluster = SimCluster.from_platform(env, platform, fault_plan=plan)
     rt = SageRuntime(glue, cluster,
-                     fault_policy=FaultPolicy.checkpoint_restart())
+                     fault_policy=FaultPolicy.shrink_restripe())
 """
 
 from .core.runtime.kernel import RECOVERABLE_FAULTS
@@ -42,7 +48,15 @@ from .machine.faults import (
 )
 from .machine.interconnect import TransferOutcome
 from .mpi.comm import RetryPolicy
-from .mpi.errors import CorruptionError, DeliveryError, MpiTimeoutError
+from .mpi.detector import FailureDetector, HeartbeatConfig
+from .mpi.errors import (
+    CorruptionError,
+    DeliveryError,
+    MpiTimeoutError,
+    ProcessFailedError,
+    RevokedError,
+    TruncationError,
+)
 
 __all__ = [
     # machine layer
@@ -64,7 +78,12 @@ __all__ = [
     "RetryPolicy",
     "MpiTimeoutError",
     "CorruptionError",
+    "TruncationError",
     "DeliveryError",
+    "ProcessFailedError",
+    "RevokedError",
+    "FailureDetector",
+    "HeartbeatConfig",
     # runtime layer
     "FaultPolicy",
     "FAIL_FAST",

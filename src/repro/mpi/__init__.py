@@ -14,12 +14,15 @@ from .comm import (
     Request,
     RetryPolicy,
 )
+from .detector import FailureDetector, HeartbeatConfig
 from .errors import (
     CorruptionError,
     DeliveryError,
     MpiError,
     MpiTimeoutError,
+    ProcessFailedError,
     RankError,
+    RevokedError,
     TruncationError,
 )
 from .datatypes import copy_payload, payload_nbytes
@@ -34,12 +37,16 @@ __all__ = [
     "MpiWorld",
     "Request",
     "RetryPolicy",
+    "FailureDetector",
+    "HeartbeatConfig",
     "MpiError",
     "RankError",
     "TruncationError",
     "MpiTimeoutError",
     "CorruptionError",
     "DeliveryError",
+    "ProcessFailedError",
+    "RevokedError",
     "copy_payload",
     "payload_nbytes",
     "ALGORITHMS",

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..machine.cluster import SimCluster
+from ..machine.faults import FaultError
 from ..machine.simulator import Environment, Event, Process
 from .datatypes import ANY_SOURCE, ANY_TAG, copy_payload, payload_nbytes
 from .errors import (
@@ -36,7 +37,9 @@ from .errors import (
     DeliveryError,
     MpiError,
     MpiTimeoutError,
+    ProcessFailedError,
     RankError,
+    RevokedError,
     TruncationError,
 )
 
@@ -49,6 +52,12 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
 ]
+
+#: Tag space reserved for the fault-tolerant agreement protocol.  Operations
+#: tagged at or above this base bypass the revocation check, so ``agree()``
+#: and ``shrink()`` keep working on a revoked communicator (ULFM semantics).
+#: User tags and the collectives' reserved range (1 << 20) sit below it.
+_AGREE_TAG_BASE = 1 << 28
 
 
 @dataclass(frozen=True)
@@ -209,6 +218,7 @@ class Communicator:
         self.size = len(self.members) if self.members is not None else world.size
         self.bytes_sent = 0
         self.messages_sent = 0
+        self._agree_seq = 0
         #: Deadline applied to every recv/wait (and hence every collective)
         #: when the call itself passes no explicit timeout.  None = block
         #: forever (the pre-fault-tolerance behaviour).
@@ -249,6 +259,26 @@ class Communicator:
     def _effective_timeout(self, timeout: Optional[float]) -> Optional[float]:
         return self.default_timeout if timeout is None else timeout
 
+    def _group(self) -> List[int]:
+        """This communicator's members as global ranks."""
+        if self.members is not None:
+            return list(self.members)
+        return list(range(self.world.size))
+
+    def _check_revoked(self, tag: int = 0) -> None:
+        if tag < _AGREE_TAG_BASE and self.context in self.world._revoked:
+            raise RevokedError(
+                f"rank {self.rank}: communicator (context {self.context}) "
+                f"has been revoked (t={self.env.now:.6f})"
+            )
+
+    def _known_failed(self) -> set:
+        """Members this rank's failure-detector view has declared dead."""
+        dead = self.world._dead_view(self.global_rank)
+        if not dead:
+            return set()
+        return dead & set(self._group())
+
     # -- point-to-point ----------------------------------------------------
     def send(self, data: Any, dest: int, tag: int = 0,
              retry: Optional[RetryPolicy] = None) -> Generator:
@@ -262,8 +292,15 @@ class Communicator:
         :class:`~repro.mpi.errors.DeliveryError` once attempts are
         exhausted.
         """
+        self._check_revoked(tag)
         policy = retry if retry is not None else self.retry_policy
         dest_g = self._g(dest)
+        if dest_g in self.world._dead_view(self.global_rank):
+            raise ProcessFailedError(
+                f"rank {self.rank}: send to rank {dest} tag {tag} failed: "
+                f"rank {dest} declared dead (t={self.env.now:.6f})",
+                ranks=(dest_g,),
+            )
         if policy is None:
             yield from self.world._send(
                 self.global_rank, dest_g, tag, data, comm=self, context=self.context
@@ -313,7 +350,14 @@ class Communicator:
         instead of wedging the event loop.  ``max_bytes`` models a sized
         receive buffer: a matched message larger than it raises
         :class:`~repro.mpi.errors.TruncationError`.
+
+        With a failure detector attached to the world, a receive whose
+        source has been declared dead — or an ``ANY_SOURCE`` receive once
+        *all* possible senders are declared dead — raises
+        :class:`~repro.mpi.errors.ProcessFailedError` immediately rather
+        than wedging until the timeout.
         """
+        self._check_revoked(tag)
         msg = yield from self.world._recv(
             self.global_rank, self._g_source(source), tag, self.context,
             timeout=self._effective_timeout(timeout), max_bytes=max_bytes,
@@ -323,6 +367,7 @@ class Communicator:
     def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                  timeout: Optional[float] = None) -> Generator:
         """Like :meth:`recv` but returns the full :class:`Message` envelope."""
+        self._check_revoked(tag)
         msg = yield from self.world._recv(
             self.global_rank, self._g_source(source), tag, self.context,
             timeout=self._effective_timeout(timeout),
@@ -336,10 +381,12 @@ class Communicator:
         Truncation and corruption checks run when the message is matched, so
         the resulting errors propagate through ``wait()``/``test()``.
         """
+        self._check_revoked(tag)
         done = self.env.event()
-        self.world._mailbox(self.global_rank, self.context).match(
-            self._g_source(source), tag, done
-        )
+        box = self.world._mailbox(self.global_rank, self.context)
+        box.match(self._g_source(source), tag, done)
+        if not done.triggered:
+            self.world._fail_dead_waiters(self.global_rank, self.context)
         rank = self.rank
 
         def unwrap():
@@ -366,6 +413,7 @@ class Communicator:
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
         """Nonblocking probe of the unexpected-message queue."""
+        self._check_revoked(tag)
         return self.world._mailbox(self.global_rank, self.context).probe(
             self._g_source(source), tag
         )
@@ -382,9 +430,12 @@ class Communicator:
         """
         if timeout <= 0:
             raise MpiError("timeout must be positive")
+        self._check_revoked(tag)
         done = self.env.event()
         box = self.world._mailbox(self.global_rank, self.context)
         box.match(self._g_source(source), tag, done)
+        if not done.triggered:
+            self.world._fail_dead_waiters(self.global_rank, self.context)
         which, value = yield self.env.any_of([done, self.env.timeout(timeout)])
         if which == 0:
             _check_integrity(value, self.rank, None)
@@ -430,8 +481,153 @@ class Communicator:
         context = self.world._intern_context(
             (self.context, color, tuple(members))
         )
+        self.world._register_context(context, members)
         sub = Communicator(
             self.world, members.index(self.global_rank), members=members,
+            context=context,
+        )
+        sub.default_timeout = self.default_timeout
+        sub.retry_policy = self.retry_policy
+        return sub
+
+    # -- ULFM-style fault-tolerance primitives -------------------------------
+    def revoke(self) -> None:
+        """Revoke this communicator (ULFM ``MPI_Comm_revoke``).
+
+        Non-collective and immediate: every pending receive on this
+        communicator's context — on *every* rank — fails with
+        :class:`~repro.mpi.errors.RevokedError`, and all future operations
+        on it raise the same, unblocking survivors stuck in a collective
+        broken by a dead rank.  Only :meth:`agree` and :meth:`shrink` keep
+        working afterwards; the usual recovery idiom is::
+
+            try:
+                result = yield from comm.allreduce(x)
+            except ProcessFailedError:
+                comm.revoke()                 # unstick everyone else
+                comm = yield from comm.shrink()   # survivors continue
+        """
+        self.world._revoke_context(self.context)
+
+    def _agree_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """Deadline for one agreement exchange.
+
+        With a failure detector attached the agreement blocks for live
+        members indefinitely (true ULFM semantics) — dead members surface
+        as :class:`~repro.mpi.errors.ProcessFailedError` on the pending
+        receive, so no timeout is needed.  Without a detector the only
+        failure signal is silence, so a deadline (explicit, or the
+        communicator default) bounds the wait and silent members are
+        conservatively agreed failed.
+        """
+        if timeout is not None:
+            return timeout
+        if self.world.detector is not None:
+            return None
+        if self.default_timeout is not None:
+            return self.default_timeout
+        return 0.01
+
+    def agree(self, flag: int = 1, timeout: Optional[float] = None) -> Generator:
+        """Fault-tolerant agreement (ULFM ``MPI_Comm_agree``); sub-generator.
+
+        Collective over the surviving members.  Returns ``(agreed_flag,
+        failed)`` where ``agreed_flag`` is the bitwise AND of every
+        contributing rank's ``flag`` and ``failed`` is a frozenset of
+        *global* ranks agreed to have failed — the union of every
+        participant's detector view plus any member that did not answer
+        within the deadline.
+
+        Works on a revoked communicator.  The protocol is coordinator-based:
+        the lowest member not locally known dead collects (flag, dead-set)
+        contributions and broadcasts the decision.  With a converged
+        detector all ranks pick the same coordinator; a rank whose
+        contribution is lost on the wire is conservatively agreed failed and
+        will observe ``MpiTimeoutError`` waiting for the decision.
+        """
+        members = self._group()
+        deadline = self._agree_timeout(timeout)
+        seq = self._agree_seq
+        self._agree_seq += 1
+        tag = _AGREE_TAG_BASE + 2 * (seq % (1 << 16))
+        failed = set(self._known_failed())
+        alive = [r for r, g in enumerate(members) if g not in failed]
+        if not alive:
+            raise ProcessFailedError(
+                f"rank {self.rank}: agree() has no surviving members",
+                ranks=failed,
+            )
+        coord = alive[0]
+        retry = self.retry_policy or RetryPolicy(max_attempts=3, backoff=1e-5)
+        if self.rank == coord:
+            agreed = flag
+            for r, g in enumerate(members):
+                if r == coord or g in failed:
+                    continue
+                try:
+                    their_flag, their_dead = yield from self._agree_recv(
+                        g, tag, deadline
+                    )
+                except (ProcessFailedError, MpiTimeoutError):
+                    failed.add(g)  # dead (or, with no detector, silent) member
+                    continue
+                agreed &= their_flag
+                failed |= set(their_dead)
+            decision = (agreed, tuple(sorted(failed)))
+            for r, g in enumerate(members):
+                if r == coord or g in failed:
+                    continue
+                try:
+                    yield from self.send(decision, dest=r, tag=tag + 1, retry=retry)
+                except (MpiError, FaultError):
+                    pass  # it will be agreed failed in the next round
+            return agreed, frozenset(failed)
+        try:
+            yield from self.send(
+                (flag, tuple(sorted(failed))), dest=coord, tag=tag, retry=retry
+            )
+        except (MpiError, FaultError):
+            pass  # coordinator unreachable; the recv below will surface it
+        agreed, failed_t = yield from self._agree_recv(
+            members[coord], tag + 1,
+            None if deadline is None else deadline * (len(members) + 1),
+        )
+        return agreed, frozenset(failed_t)
+
+    def _agree_recv(self, source_g: int, tag: int,
+                    deadline: Optional[float]) -> Generator:
+        """Raw receive for the agreement protocol: bypasses the revocation
+        check and the communicator ``default_timeout`` (``deadline=None``
+        really blocks, relying on the detector to surface dead peers)."""
+        msg = yield from self.world._recv(
+            self.global_rank, source_g, tag, self.context, timeout=deadline
+        )
+        return msg.data
+
+    def shrink(self, timeout: Optional[float] = None) -> Generator:
+        """Build a survivor communicator (ULFM ``MPI_Comm_shrink``).
+
+        Collective over the surviving members (works on a revoked
+        communicator): agrees on the failed set, then returns a new
+        communicator over the sorted survivors with dense remapped ranks
+        and a fresh context (pending traffic of the old communicator cannot
+        leak in).  ``default_timeout`` / ``retry_policy`` are inherited.
+        """
+        seq = self._agree_seq  # same on every member under collective discipline
+        _, failed = yield from self.agree(timeout=timeout)
+        members = self._group()
+        survivors = [g for g in members if g not in failed]
+        if self.global_rank not in survivors:
+            raise ProcessFailedError(
+                f"rank {self.rank}: this rank was agreed failed during shrink",
+                ranks=failed,
+            )
+        context = self.world._intern_context(
+            ("shrink", self.context, seq, tuple(survivors))
+        )
+        self.world._register_context(context, survivors)
+        sub = Communicator(
+            self.world, survivors.index(self.global_rank), members=survivors,
             context=context,
         )
         sub.default_timeout = self.default_timeout
@@ -467,12 +663,17 @@ class MpiWorld:
 
     def __init__(self, cluster: SimCluster,
                  default_timeout: Optional[float] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 detector: Optional[Any] = None):
         self.cluster = cluster
         self.env: Environment = cluster.env
         self.size = len(cluster)
         self._mailboxes: Dict[Tuple[int, int], _Mailbox] = {}
         self._contexts: Dict[Any, int] = {}
+        #: context id -> member global ranks (None = all world ranks); feeds
+        #: the "all possible senders dead" check for ANY_SOURCE receives.
+        self._context_members: Dict[int, Optional[Tuple[int, ...]]] = {0: None}
+        self._revoked: set = set()
         self._procs: List[Process] = []
         self.comms: List[Communicator] = [Communicator(self, r) for r in range(self.size)]
         for comm in self.comms:
@@ -480,6 +681,99 @@ class MpiWorld:
             comm.retry_policy = retry_policy
         self.total_bytes = 0
         self.total_messages = 0
+        self.detector = None
+        if detector is not None:
+            self.attach_detector(detector)
+
+    # -- failure detection --------------------------------------------------
+    def attach_detector(self, detector) -> None:
+        """Bind a :class:`~repro.mpi.detector.FailureDetector` to this world.
+
+        Starts the detector and subscribes to its declarations: when
+        observer *o* declares rank *t* dead, every receive *o* has pending
+        from *t* (and every ``ANY_SOURCE`` receive whose possible senders
+        are now all dead in *o*'s view) fails with
+        :class:`~repro.mpi.errors.ProcessFailedError`.  Views are
+        per-observer: a rank only reacts to its *own* detector's opinion.
+        """
+        self.detector = detector
+        detector.start()
+        detector.subscribe(self._on_detector_event)
+
+    def _on_detector_event(self, time: float, kind: str, observer: int,
+                           target: int, detail: str) -> None:
+        if kind == "declare_dead":
+            self._fail_dead_waiters(observer)
+
+    def _dead_view(self, rank: int) -> frozenset:
+        """Ranks that ``rank``'s own detector view has declared dead."""
+        if self.detector is None:
+            return frozenset()
+        return frozenset(self.detector.view(rank).dead)
+
+    def _possible_senders(self, rank: int, context: int) -> List[int]:
+        members = self._context_members.get(context)
+        pool = members if members is not None else range(self.size)
+        return [g for g in pool if g != rank]
+
+    def _fail_dead_waiters(self, rank: int, context: Optional[int] = None) -> None:
+        """Fail rank ``rank``'s pending receives whose senders are dead.
+
+        A receive from a specific dead source fails at once; an
+        ``ANY_SOURCE`` receive fails only when *every* possible sender in
+        its context is dead (a live sender might still satisfy it).
+        """
+        dead = self._dead_view(rank)
+        if not dead:
+            return
+        for (r, ctx), box in list(self._mailboxes.items()):
+            if r != rank or (context is not None and ctx != context):
+                continue
+            if not box.waiting:
+                continue
+            senders = self._possible_senders(rank, ctx)
+            all_dead = bool(senders) and all(g in dead for g in senders)
+            keep = []
+            for source, tag, event in box.waiting:
+                if source != ANY_SOURCE and source in dead:
+                    event.fail(ProcessFailedError(
+                        f"rank {rank}: recv(source={source}, tag={tag}) "
+                        f"failed: rank {source} declared dead "
+                        f"(t={self.env.now:.6f})",
+                        ranks=(source,),
+                    ))
+                elif source == ANY_SOURCE and all_dead:
+                    event.fail(ProcessFailedError(
+                        f"rank {rank}: recv(ANY_SOURCE, tag={tag}) failed: "
+                        f"all possible senders {sorted(senders)} declared "
+                        f"dead (t={self.env.now:.6f})",
+                        ranks=senders,
+                    ))
+                else:
+                    keep.append((source, tag, event))
+            box.waiting = keep
+
+    # -- revocation ---------------------------------------------------------
+    def _register_context(self, context: int, members: List[int]) -> None:
+        self._context_members.setdefault(context, tuple(members))
+
+    def _revoke_context(self, context: int) -> None:
+        if context in self._revoked:
+            return
+        self._revoked.add(context)
+        for (rank, ctx), box in list(self._mailboxes.items()):
+            if ctx != context:
+                continue
+            keep = []
+            for source, tag, event in box.waiting:
+                if tag != ANY_TAG and tag >= _AGREE_TAG_BASE:
+                    keep.append((source, tag, event))  # agree() survives revoke
+                    continue
+                event.fail(RevokedError(
+                    f"rank {rank}: recv(tag={tag}) aborted: communicator "
+                    f"(context {context}) revoked (t={self.env.now:.6f})"
+                ))
+            box.waiting = keep
 
     # -- rank management ----------------------------------------------------
     def spawn(self, program: Callable[[Communicator], Generator], *args, **kwargs) -> None:
@@ -564,6 +858,10 @@ class MpiWorld:
         box = self._mailbox(rank, context)
         done = self.env.event()
         box.match(source, tag, done)
+        if not done.triggered and self.detector is not None:
+            # A buffered message may still satisfy the receive; otherwise a
+            # dead (set of) sender(s) fails it now instead of at the timeout.
+            self._fail_dead_waiters(rank, context)
         if timeout is None:
             msg = yield done
         else:

@@ -1,0 +1,350 @@
+"""Heartbeat/gossip failure detection over the simulated fabric.
+
+PR 1's fault tolerance *reacted* to failures: an operation touching a dead
+node raised, or a receive timed out.  Real HPC runtimes detect failures
+proactively — every node periodically heartbeats its peers and silence, not
+an oracle, marks a rank dead.  :class:`FailureDetector` is that service:
+
+* **Emitter** — each node, every ``period`` virtual seconds, sends a small
+  out-of-band ping to every peer.  Pings travel the same links as data
+  (charged the link's latency/bandwidth model, degraded-link slowdown
+  included, and subject to the plan's seeded message loss and link outages)
+  but bypass the NIC injection/ejection ports, modelling the dedicated
+  low-priority heartbeat channel of real RAS networks — application
+  congestion alone can never starve the detector into a false positive.
+* **Monitor** — each node, every period, checks how long each peer has been
+  silent.  Silence beyond ``miss_grace`` periods increments a suspicion
+  counter (a ``suspect`` event on the first miss); ``threshold`` consecutive
+  misses declare the peer dead (``declare_dead``).  Any heartbeat resets the
+  counter.
+* **Gossip** — each ping piggybacks the sender's set of declared-dead ranks.
+  A receiver adopts a gossiped death only when its own silence corroborates
+  it (no heartbeat from the accused within the grace window), so a partition
+  between one pair cannot poison observers that still hear the accused rank;
+  when the accused really is dead, gossip short-circuits the remaining
+  misses and detection converges cluster-wide in O(1) gossip hops.
+
+Views are **per-observer**: rank *r*'s opinion of who is dead lives in
+``view(r)`` and observers may transiently disagree (exactly like a real
+gossip detector).  Nothing consults the injector's ground truth to *decide*
+— it is only used to emit/receive pings, so detection latency and false
+positives are honest, measurable quantities (see the R2 ``reconfiguration``
+experiment).
+
+Determinism: the schedule is pure virtual time and the only randomness is
+the fault plan's own seeded per-message loss draw, taken in simulation event
+order — identical seed + config reproduce bit-identical detection times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..machine.cluster import SimCluster
+from ..machine.simulator import Environment, Event, Interrupt, Process
+
+__all__ = ["HeartbeatConfig", "FailureDetector", "DetectorEvent"]
+
+#: Kinds of detector events reported to listeners / kept in the log.
+DETECTOR_EVENT_KINDS = ("suspect", "clear_suspect", "declare_dead")
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Tuning knobs of the heartbeat failure detector.
+
+    Attributes
+    ----------
+    period:
+        Virtual seconds between heartbeat rounds (emit and monitor both tick
+        at this rate).
+    miss_grace:
+        Silence longer than ``miss_grace * period`` counts as a missed
+        heartbeat (values > 1 absorb wire time and tick skew).
+    threshold:
+        Consecutive missed-heartbeat ticks before a peer is declared dead.
+        Expected detection latency after a crash is roughly
+        ``(miss_grace + threshold) * period``; raising it trades latency for
+        robustness to message loss.
+    ping_bytes:
+        Modelled heartbeat payload size (charges the link bandwidth term).
+    """
+
+    period: float = 1e-4
+    miss_grace: float = 2.5
+    threshold: int = 3
+    ping_bytes: int = 32
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.miss_grace < 1:
+            raise ValueError("miss_grace must be >= 1 period")
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.ping_bytes < 0:
+            raise ValueError("ping_bytes must be non-negative")
+
+    @property
+    def window(self) -> float:
+        """Approximate worst-case detection latency after a crash."""
+        return (self.miss_grace + self.threshold) * self.period
+
+
+@dataclass(frozen=True)
+class DetectorEvent:
+    """One entry of the detector's event log."""
+
+    time: float
+    kind: str       # one of DETECTOR_EVENT_KINDS
+    observer: int   # the rank holding the opinion
+    target: int     # the rank the opinion is about
+    detail: str = ""
+
+
+class _RankView:
+    """One observer's live opinion of its peers."""
+
+    __slots__ = ("last_heard", "suspicion", "suspected", "dead")
+
+    def __init__(self, peers: Sequence[int], start: float):
+        self.last_heard: Dict[int, float] = {p: start for p in peers}
+        self.suspicion: Dict[int, int] = {p: 0 for p in peers}
+        self.suspected: Set[int] = set()
+        self.dead: Set[int] = set()
+
+
+class FailureDetector:
+    """A per-node heartbeat/gossip failure detection service.
+
+    Bound to a :class:`~repro.machine.cluster.SimCluster`; ``start()``
+    launches one emitter and one monitor process per rank.  Consumers
+    subscribe to ``suspect`` / ``clear_suspect`` / ``declare_dead`` events,
+    wait on :meth:`death_event`, or poll :meth:`view`.  Both the MPI layer
+    (:meth:`~repro.mpi.comm.MpiWorld.attach_detector`) and the run-time
+    kernel's ``shrink_restripe`` policy build on this service.
+    """
+
+    def __init__(self, cluster: SimCluster,
+                 config: Optional[HeartbeatConfig] = None,
+                 ranks: Optional[Sequence[int]] = None):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.config = config if config is not None else HeartbeatConfig()
+        self.ranks: List[int] = (
+            sorted(ranks) if ranks is not None else list(range(len(cluster)))
+        )
+        if len(self.ranks) < 2:
+            raise ValueError("failure detection needs at least 2 ranks")
+        self.views: Dict[int, _RankView] = {}
+        self.log: List[DetectorEvent] = []
+        self._listeners: List[Callable[[float, str, int, int, str], None]] = []
+        self._death_events: Dict[int, Event] = {}
+        self._first_declared: Dict[int, Tuple[float, int]] = {}
+        self._procs: Dict[int, List[Process]] = {}
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "FailureDetector":
+        """Launch the per-rank emitter/monitor processes (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        now = self.env.now
+        for r in self.ranks:
+            self.views[r] = _RankView([p for p in self.ranks if p != r], now)
+            self._launch(r)
+        return self
+
+    def stop(self) -> None:
+        """Kill every detector process (end-of-run cleanup)."""
+        for procs in self._procs.values():
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt("detector stopped")
+        self._procs.clear()
+        self._started = False
+
+    def _launch(self, rank: int) -> None:
+        self._procs[rank] = [
+            self.env.process(self._emitter(rank), name=f"hb-emit:{rank}"),
+            self.env.process(self._monitor(rank), name=f"hb-mon:{rank}"),
+        ]
+
+    # -- observation API ---------------------------------------------------
+    def subscribe(self, fn: Callable[[float, str, int, int, str], None]) -> None:
+        """``fn(time, kind, observer, target, detail)`` on every event."""
+        self._listeners.append(fn)
+
+    def view(self, rank: int) -> _RankView:
+        """Rank ``rank``'s current opinion of its peers."""
+        if not self._started:
+            raise RuntimeError("detector not started")
+        return self.views[rank]
+
+    def dead_according_to(self, rank: int) -> Set[int]:
+        """The set of ranks observer ``rank`` has declared dead."""
+        return set(self.view(rank).dead)
+
+    def death_event(self, target: int) -> Event:
+        """An event fired when *any* observer first declares ``target`` dead.
+
+        Already-declared targets return an already-succeeded event, so
+        ``env.run(until=detector.death_event(n))`` never blocks spuriously.
+        """
+        ev = self._death_events.get(target)
+        if ev is None:
+            ev = self.env.event()
+            self._death_events[target] = ev
+            if target in self._first_declared:
+                ev.succeed(self._first_declared[target])
+        return ev
+
+    def first_detection(self, target: int) -> Optional[Tuple[float, int]]:
+        """(time, observer) of the first declaration of ``target``, or None."""
+        return self._first_declared.get(target)
+
+    def declared_dead(self) -> Set[int]:
+        """Every rank declared dead by at least one observer."""
+        return set(self._first_declared)
+
+    def clear(self, target: int) -> None:
+        """Forget a declaration (the rank was revived/restarted).
+
+        Resets every observer's opinion of ``target``, re-arms its death
+        event, and restarts the rank's own detector processes if they exited
+        when its node died.
+        """
+        now = self.env.now
+        for view in self.views.values():
+            view.dead.discard(target)
+            view.suspected.discard(target)
+            if target in view.suspicion:
+                view.suspicion[target] = 0
+                view.last_heard[target] = now
+        self._first_declared.pop(target, None)
+        self._death_events.pop(target, None)
+        if self._started:
+            procs = self._procs.get(target, [])
+            if not any(p.is_alive for p in procs):
+                view = self.views[target]
+                for peer in view.last_heard:
+                    view.last_heard[peer] = now
+                    view.suspicion[peer] = 0
+                self._launch(target)
+
+    # -- event plumbing ----------------------------------------------------
+    def _emit(self, kind: str, observer: int, target: int, detail: str) -> None:
+        ev = DetectorEvent(self.env.now, kind, observer, target, detail)
+        self.log.append(ev)
+        for fn in self._listeners:
+            fn(ev.time, ev.kind, ev.observer, ev.target, ev.detail)
+
+    def _declare(self, observer: int, target: int, detail: str) -> None:
+        view = self.views[observer]
+        if target in view.dead:
+            return
+        view.dead.add(target)
+        view.suspected.discard(target)
+        self._emit("declare_dead", observer, target, detail)
+        if target not in self._first_declared:
+            self._first_declared[target] = (self.env.now, observer)
+            ev = self._death_events.get(target)
+            if ev is not None and not ev.triggered:
+                ev.succeed((self.env.now, observer))
+
+    # -- the detector processes --------------------------------------------
+    def _node_alive(self, rank: int) -> bool:
+        faults = self.cluster.faults
+        return faults is None or faults.alive(rank)
+
+    def _emitter(self, rank: int):
+        cfg = self.config
+        try:
+            while True:
+                yield self.env.timeout(cfg.period)
+                if not self._node_alive(rank):
+                    return  # a dead node stops heartbeating — that IS the signal
+                dead = tuple(sorted(self.views[rank].dead))
+                for peer in self.ranks:
+                    if peer != rank:
+                        self.env.process(
+                            self._ping(rank, peer, dead),
+                            name=f"hb:{rank}->{peer}",
+                        )
+        except Interrupt:
+            return
+
+    def _ping(self, src: int, dst: int, gossip_dead: Tuple[int, ...]):
+        cfg = self.config
+        cluster = self.cluster
+        faults = cluster.faults
+        fabric = cluster.fabric
+        if faults is not None and not faults.link_up(src, dst):
+            return  # lost in the outage
+        link = fabric.spec.link_for(fabric.same_board(src, dst))
+        factor = faults.link_factor(src, dst) if faults is not None else 1.0
+        wire = (
+            link.sw_overhead + link.latency
+            + cfg.ping_bytes / (link.bandwidth * factor)
+        )
+        try:
+            yield self.env.timeout(wire)
+        except Interrupt:
+            return
+        if faults is not None:
+            if (not faults.alive(src) or not faults.alive(dst)
+                    or not faults.link_up(src, dst)):
+                return
+            if faults.sample_delivery(src, dst, cfg.ping_bytes) != "delivered":
+                return  # heartbeat lost on the lossy fabric
+        self._receive_heartbeat(dst, src, gossip_dead)
+
+    def _receive_heartbeat(self, dst: int, src: int,
+                           gossip_dead: Tuple[int, ...]) -> None:
+        view = self.views[dst]
+        now = self.env.now
+        if src not in view.dead:
+            view.last_heard[src] = now
+        grace = self.config.miss_grace * self.config.period
+        for target in gossip_dead:
+            if target == dst or target in view.dead:
+                continue
+            # Adopt gossip only when locally corroborated by silence.
+            if now - view.last_heard.get(target, now) > grace:
+                self._declare(dst, target, f"gossip from rank {src}")
+
+    def _monitor(self, rank: int):
+        cfg = self.config
+        grace = cfg.miss_grace * cfg.period
+        view_peers = [p for p in self.ranks if p != rank]
+        try:
+            while True:
+                yield self.env.timeout(cfg.period)
+                if not self._node_alive(rank):
+                    return
+                view = self.views[rank]
+                now = self.env.now
+                for peer in view_peers:
+                    if peer in view.dead:
+                        continue
+                    if now - view.last_heard[peer] > grace:
+                        view.suspicion[peer] += 1
+                        if peer not in view.suspected:
+                            view.suspected.add(peer)
+                            self._emit(
+                                "suspect", rank, peer,
+                                f"silent for {now - view.last_heard[peer]:.6f}s",
+                            )
+                        if view.suspicion[peer] >= cfg.threshold:
+                            self._declare(
+                                rank, peer,
+                                f"{view.suspicion[peer]} missed heartbeats",
+                            )
+                    elif view.suspicion[peer]:
+                        view.suspicion[peer] = 0
+                        view.suspected.discard(peer)
+                        self._emit("clear_suspect", rank, peer, "heartbeat resumed")
+        except Interrupt:
+            return

@@ -1,0 +1,132 @@
+"""Heartbeat failure detector: detection, determinism, false positives."""
+
+import pytest
+
+from repro.faults import FailureDetector, FaultPlan, HeartbeatConfig
+from repro.machine import Environment, SimCluster, cspi
+
+
+def make_detector(nodes=4, plan=None, config=None):
+    env = Environment()
+    cluster = SimCluster.from_platform(env, cspi(), nodes, fault_plan=plan)
+    detector = FailureDetector(cluster, config)
+    return env, detector
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = HeartbeatConfig()
+        assert cfg.window == pytest.approx(
+            (cfg.miss_grace + cfg.threshold) * cfg.period)
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(period=0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(miss_grace=0.5)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(threshold=0)
+
+    def test_needs_two_ranks(self):
+        env = Environment()
+        cluster = SimCluster.from_platform(env, cspi(), 1)
+        with pytest.raises(ValueError, match="at least 2"):
+            FailureDetector(cluster)
+
+
+class TestDetection:
+    def test_crashed_node_declared_within_window(self):
+        crash_at = 0.002
+        plan = FaultPlan().crash_node(2, at=crash_at, permanent=True)
+        env, det = make_detector(4, plan=plan)
+        det.start()
+        declared_at, observer = env.run(until=det.death_event(2))
+        assert observer != 2
+        latency = declared_at - crash_at
+        assert 0 < latency <= 2 * det.config.window
+
+    def test_all_live_observers_converge(self):
+        """Gossip spreads the verdict: every live view declares the victim."""
+        plan = FaultPlan().crash_node(2, at=0.002, permanent=True)
+        env, det = make_detector(4, plan=plan)
+        det.start()
+        env.run(until=det.death_event(2))
+        env.run(until=env.now + 4 * det.config.window)
+        for r in (0, 1, 3):
+            assert det.dead_according_to(r) == {2}
+
+    def test_death_event_for_already_declared_is_immediate(self):
+        plan = FaultPlan().crash_node(1, at=0.001, permanent=True)
+        env, det = make_detector(3, plan=plan)
+        det.start()
+        first = env.run(until=det.death_event(1))
+        # A fresh event for an already-declared target fires without waiting.
+        assert env.run(until=det.death_event(1)) == first
+        assert det.first_detection(1) == tuple(first)
+
+    def test_clear_forgets_a_declaration(self):
+        plan = FaultPlan().crash_node(1, at=0.001)  # revivable
+        env, det = make_detector(3, plan=plan)
+        det.start()
+        env.run(until=det.death_event(1))
+        det.cluster.faults.revive(1)
+        det.clear(1)
+        assert det.declared_dead() == set()
+        assert det.dead_according_to(0) == set()
+        # The revived rank heartbeats again; nobody re-declares it.
+        env.run(until=env.now + 4 * det.config.window)
+        assert det.declared_dead() == set()
+
+    def test_stop_kills_detector_processes(self):
+        env, det = make_detector(3)
+        det.start()
+        env.run(until=5 * det.config.period)
+        det.stop()
+        env.run()  # queue drains: no emitter/monitor left ticking
+        assert not det.declared_dead()
+
+
+class TestFalsePositives:
+    def test_fault_free_soak_has_zero_false_positives(self):
+        """Acceptance: defaults produce no suspicion at all without faults."""
+        env, det = make_detector(8)
+        det.start()
+        env.run(until=500 * det.config.period)
+        assert det.log == []
+        assert det.declared_dead() == set()
+
+    def test_degraded_link_alone_causes_no_false_positives(self):
+        plan = FaultPlan(seed=9).degrade_link(0, 1, at=0.0, factor=0.10)
+        env, det = make_detector(4, plan=plan)
+        det.start()
+        env.run(until=200 * det.config.period)
+        assert det.declared_dead() == set()
+
+    def test_heavy_loss_can_cause_false_positives(self):
+        """The detector is honest: a lossy-enough fabric silences live ranks."""
+        plan = FaultPlan(seed=3).message_loss(0.5)
+        env, det = make_detector(3, plan=plan,
+                                 config=HeartbeatConfig(threshold=2))
+        det.start()
+        env.run(until=400 * det.config.period)
+        assert det.declared_dead()  # wrongly, by construction: nobody crashed
+
+
+class TestDeterminism:
+    @staticmethod
+    def _trace(seed):
+        plan = (FaultPlan(seed=seed)
+                .message_loss(0.10)
+                .crash_node(3, at=0.0015, permanent=True))
+        env, det = make_detector(4, plan=plan)
+        det.start()
+        env.run(until=det.death_event(3))
+        env.run(until=env.now + 4 * det.config.window)
+        return [(e.time, e.kind, e.observer, e.target) for e in det.log]
+
+    def test_same_seed_reproduces_identical_detection_trace(self):
+        assert self._trace(7) == self._trace(7)
+
+    def test_different_seed_changes_the_trace(self):
+        # Loss draws differ, so suspicion timings differ.
+        assert self._trace(7) != self._trace(8)

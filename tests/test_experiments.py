@@ -219,3 +219,53 @@ class TestPeriodLatency:
 
     def test_formatting(self, points):
         assert "period vs latency" in format_period_latency(points)
+
+
+class TestReconfiguration:
+    @pytest.fixture(scope="class")
+    def detection(self):
+        from repro.experiments import run_detection_latency
+
+        return run_detection_latency(periods=(1e-4, 4e-4), nodes=4,
+                                     seeds=(21,))
+
+    def test_latency_within_window_and_scales_with_period(self, detection):
+        for p in detection:
+            assert 0 < p.latency <= 2 * p.window
+        assert detection[1].latency > detection[0].latency
+
+    def test_fault_free_soak_has_zero_false_positives(self):
+        from repro.experiments import run_false_positives
+
+        points = run_false_positives(nodes=4, soak_periods=120)
+        by = {p.scenario: p for p in points}
+        assert by["fault-free"].false_positives == 0
+        assert by["fault-free"].suspects == 0
+        assert by["link 0-1 @ 10%"].false_positives == 0
+
+    def test_shrink_recovery_completes_degraded(self):
+        from repro.experiments import run_shrink_recovery
+
+        points = run_shrink_recovery(nodes=8, size=32, iterations=3,
+                                     kill_counts=(1,))
+        assert points and all(p.completed for p in points)
+        for p in points:
+            assert p.overhead_pct > 0
+            assert p.throughput < p.baseline_throughput
+            assert p.detect_ms > 0 and p.restripe_bytes > 0
+
+    def test_formatting(self, detection):
+        from repro.experiments import (
+            format_reconfiguration,
+            run_false_positives,
+            run_shrink_recovery,
+        )
+
+        text = format_reconfiguration(
+            detection,
+            run_false_positives(nodes=4, soak_periods=40),
+            run_shrink_recovery(nodes=8, size=32, iterations=3,
+                                kill_counts=(1,)),
+        )
+        assert "Detection latency" in text and "False positives" in text
+        assert "Shrinking recovery" in text and "fft2d" in text

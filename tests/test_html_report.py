@@ -85,3 +85,34 @@ class TestWaitall:
 
         world.spawn(prog)
         assert world.run() == [[]]
+
+
+class TestFaultMarkers:
+    @pytest.fixture(scope="class")
+    def shrink_result(self):
+        from repro.faults import FaultPlan, FaultPolicy
+
+        nodes = 8
+        app = fft2d_model(32, nodes)
+        glue = generate_glue(app, benchmark_mapping(app, nodes),
+                             num_processors=nodes)
+        env = Environment()
+        plan = FaultPlan(seed=5).crash_node(3, at=0.0006, permanent=True)
+        cluster = SimCluster.from_platform(env, cspi(), nodes,
+                                           fault_plan=plan)
+        runtime = SageRuntime(glue, cluster,
+                              config=DEFAULT_CONFIG.timing_only(),
+                              fault_policy=FaultPolicy.shrink_restripe())
+        return runtime.run(iterations=3)
+
+    def test_fault_event_markers_and_table(self, shrink_result):
+        doc = render_html_report(shrink_result, processors=8)
+        for kind in ("fault_injected", "suspect", "declare_dead",
+                     "checkpoint", "shrink", "restripe", "restore"):
+            assert kind in doc, kind
+        assert "Fault-tolerance events" in doc
+        assert "stroke-dasharray" in doc  # the vertical markers
+
+    def test_fault_free_report_has_no_marker_table(self, run_result):
+        doc = render_html_report(run_result, processors=4)
+        assert "Fault-tolerance events" not in doc

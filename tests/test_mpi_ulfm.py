@@ -1,0 +1,215 @@
+"""ULFM-style MPI fault tolerance: detector-driven failures, revoke, shrink."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.machine import Environment, SimCluster, cspi
+from repro.mpi import (
+    ANY_SOURCE,
+    FailureDetector,
+    MpiWorld,
+    ProcessFailedError,
+    RevokedError,
+)
+
+
+def make_world(nodes=4, plan=None, with_detector=True, **kwargs):
+    env = Environment()
+    cluster = SimCluster.from_platform(env, cspi(), nodes, fault_plan=plan)
+    detector = FailureDetector(cluster) if with_detector else None
+    return MpiWorld(cluster, detector=detector, **kwargs)
+
+
+class TestProcessFailed:
+    def test_pending_recv_from_dead_rank_fails(self):
+        """A recv posted before the peer dies fails at declaration time,
+        not at some timeout."""
+        plan = FaultPlan().crash_node(3, at=0.001, permanent=True)
+        world = make_world(4, plan=plan)
+
+        def waiter(comm):
+            with pytest.raises(ProcessFailedError) as err:
+                yield from comm.recv(source=3)
+            assert err.value.ranks == (3,)
+            return "survived"
+
+        def idle(comm):
+            if False:
+                yield
+
+        world.spawn_rank(0, waiter)
+        world.spawn_rank(1, idle)
+        world.spawn_rank(2, idle)
+        world.spawn_rank(3, idle)
+        assert world.run()[0] == "survived"
+
+    def test_send_to_declared_dead_rank_raises(self):
+        plan = FaultPlan().crash_node(1, at=0.001, permanent=True)
+        world = make_world(3, plan=plan)
+
+        def sender(comm):
+            # Outlive the detection window, then try to talk to the corpse.
+            yield from comm.world.cluster.node(0).busy(0.002)
+            with pytest.raises(ProcessFailedError):
+                yield from comm.send("hello", dest=1)
+            return "ok"
+
+        def idle(comm):
+            if False:
+                yield
+
+        world.spawn_rank(0, sender)
+        world.spawn_rank(1, idle)
+        world.spawn_rank(2, idle)
+        assert world.run()[0] == "ok"
+
+    def test_any_source_waits_for_all_senders_to_die(self):
+        """recv(ANY_SOURCE) fails only once every possible sender is dead."""
+        plan = (FaultPlan()
+                .crash_node(1, at=0.001, permanent=True)
+                .crash_node(2, at=0.002, permanent=True)
+                .crash_node(3, at=0.002, permanent=True))
+        world = make_world(4, plan=plan)
+
+        def waiter(comm):
+            with pytest.raises(ProcessFailedError) as err:
+                yield from comm.recv(source=ANY_SOURCE)
+            assert err.value.ranks == (1, 2, 3)
+            return comm.world.env.now
+
+        def idle(comm):
+            if False:
+                yield
+
+        world.spawn_rank(0, waiter)
+        for r in (1, 2, 3):
+            world.spawn_rank(r, idle)
+        failed_at = world.run()[0]
+        # Not before the *last* sender could have been declared dead.
+        assert failed_at > 0.002
+
+    def test_any_source_still_delivers_from_a_live_sender(self):
+        plan = FaultPlan().crash_node(2, at=0.001, permanent=True)
+        world = make_world(3, plan=plan)
+
+        def waiter(comm):
+            msg = yield from comm.recv(source=ANY_SOURCE)
+            return msg
+
+        def sender(comm):
+            yield from comm.world.cluster.node(1).busy(0.003)
+            yield from comm.send("from the living", dest=0)
+
+        def idle(comm):
+            if False:
+                yield
+
+        world.spawn_rank(0, waiter)
+        world.spawn_rank(1, sender)
+        world.spawn_rank(2, idle)
+        assert world.run()[0] == "from the living"
+
+
+class TestRevoke:
+    def test_revoke_unblocks_pending_recvs(self):
+        world = make_world(2, with_detector=False)
+
+        def victim(comm):
+            with pytest.raises(RevokedError):
+                yield from comm.recv(source=1)
+            return "released"
+
+        def revoker(comm):
+            yield from comm.world.cluster.node(1).busy(0.001)
+            comm.revoke()
+            if False:
+                yield
+
+        world.spawn_rank(0, victim)
+        world.spawn_rank(1, revoker)
+        assert world.run()[0] == "released"
+
+    def test_operations_after_revoke_raise(self):
+        world = make_world(2, with_detector=False)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.revoke()
+            else:
+                yield from comm.world.cluster.node(1).busy(0.001)
+            with pytest.raises(RevokedError):
+                yield from comm.send(1, dest=1 - comm.rank)
+            with pytest.raises(RevokedError):
+                yield from comm.recv(source=1 - comm.rank)
+            return "done"
+
+        world.spawn(prog)
+        assert world.run() == ["done", "done"]
+
+
+class TestShrink:
+    def test_survivors_shrink_and_continue(self):
+        """The canonical ULFM recovery: fail -> revoke -> shrink -> carry on."""
+        plan = FaultPlan().crash_node(3, at=0.001, permanent=True)
+        world = make_world(4, plan=plan)
+
+        def prog(comm):
+            if comm.rank == 0:
+                try:
+                    yield from comm.recv(source=3)
+                except ProcessFailedError:
+                    comm.revoke()
+            else:
+                try:
+                    yield from comm.recv(source=0, tag=99)
+                except RevokedError:
+                    pass
+            if comm.rank == 3:
+                return None
+            new_comm = yield from comm.shrink()
+            assert new_comm.size == 3
+            gathered = yield from new_comm.allgather(new_comm.rank * 10)
+            return gathered
+
+        world.spawn(prog)
+        results = world.run()
+        assert results[3] is None
+        assert results[0] == results[1] == results[2] == [0, 10, 20]
+
+    def test_agree_reports_failed_ranks(self):
+        plan = FaultPlan().crash_node(2, at=0.001, permanent=True)
+        world = make_world(3, plan=plan)
+
+        def prog(comm):
+            if comm.rank == 2:
+                if False:
+                    yield
+                return None
+            # Wait out detection so the dead rank is known.
+            yield from comm.world.cluster.node(comm.rank).busy(0.002)
+            agreed, failed = yield from comm.agree(1)
+            return agreed, sorted(failed)
+
+        world.spawn(prog)
+        results = world.run()
+        assert results[0] == (1, [2])
+        assert results[1] == (1, [2])
+
+    def test_shrink_is_deterministic(self):
+        def run_once():
+            plan = FaultPlan(seed=5).crash_node(3, at=0.001, permanent=True)
+            world = make_world(4, plan=plan)
+
+            def prog(comm):
+                if comm.rank == 3:
+                    if False:
+                        yield
+                    return None
+                yield from comm.world.cluster.node(comm.rank).busy(0.002)
+                new_comm = yield from comm.shrink()
+                return (new_comm.rank, new_comm.size, comm.world.env.now)
+
+            world.spawn(prog)
+            return world.run()
+
+        assert run_once() == run_once()
