@@ -6,6 +6,7 @@ info         version + subsystem overview
 platforms    the vendor platform presets and their key figures
 kernels      the software-shelf contents (ISSPL + structural + radar)
 generate     load a design document, run the Alter glue generator, save glue
+analyze      run the SAGE Verifier (lint + schedules + buffers), no execution
 run          load a design document and execute it on a simulated platform
 table1 / crossvendor / ablations / atot-study / period-latency
 fault-tolerance / reconfiguration
@@ -97,6 +98,56 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _analysis_model(args):
+    """Resolve the analyze target: a builtin app name or a design document."""
+    name = args.app
+    if name in ("fft2d", "cornerturn", "corner-turn"):
+        from .apps.models import corner_turn_model, fft2d_model
+
+        nodes = args.nodes or 4
+        build = fft2d_model if name == "fft2d" else corner_turn_model
+        return build(args.n, nodes=nodes), None, None
+    return _load_any_design(name)
+
+
+def cmd_analyze(args) -> int:
+    import json
+    import os
+
+    from .analysis import analyze_application
+    from .core.model import round_robin_mapping
+    from .machine import get_platform
+
+    app, hardware, mapping = _analysis_model(args)
+    nodes = args.nodes or (hardware.processor_count if hardware else 4)
+    if mapping is None:
+        mapping = round_robin_mapping(app, nodes)
+    memory_bytes = None
+    if args.platform:
+        memory_bytes = get_platform(args.platform).cpu.memory_bytes
+    suppress = [r.strip() for r in (args.suppress or "").split(",") if r.strip()]
+    report = analyze_application(
+        app, mapping, nodes, memory_bytes=memory_bytes, suppress=suppress
+    )
+
+    out_path = args.output
+    if out_path is None:
+        os.makedirs("reports", exist_ok=True)
+        out_path = os.path.join("reports", f"analysis_{report.model_name}.json")
+    with open(out_path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
+        fh.write("\n")
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+        print(f"report written to {out_path}")
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def cmd_run(args) -> int:
     from .core.codegen import generate_glue
     from .core.model import round_robin_mapping
@@ -162,6 +213,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     gen.add_argument("--c", action="store_true",
                      help="emit the C glue (the VxWorks-era export format)")
     gen.set_defaults(fn=cmd_generate)
+
+    ana = sub.add_parser(
+        "analyze",
+        help="run the SAGE Verifier over a design without executing it",
+    )
+    ana.add_argument(
+        "app",
+        help="design document path, or a builtin app: fft2d | cornerturn",
+    )
+    ana.add_argument("--nodes", type=int, help="processor count (default 4)")
+    ana.add_argument("--n", type=int, default=256,
+                     help="matrix size for builtin apps (default 256)")
+    ana.add_argument("--platform", choices=["cspi", "mercury", "sky", "sigi"],
+                     help="enable DRAM-capacity rules for this platform")
+    ana.add_argument("--strict", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="exit 1 on error findings (default; --no-strict to disable)")
+    ana.add_argument("--format", choices=["text", "json"], default="text",
+                     help="stdout format (a JSON report file is always written)")
+    ana.add_argument("-o", "--output",
+                     help="report file path (default reports/analysis_<model>.json)")
+    ana.add_argument("--suppress",
+                     help="comma-separated rule ids to filter out, e.g. MDL004,BUF207")
+    ana.set_defaults(fn=cmd_analyze)
 
     run = sub.add_parser("run", help="execute a design on a simulated platform")
     run.add_argument("design")

@@ -1,0 +1,36 @@
+"""The SAGE Verifier: static analysis before any cycle is simulated.
+
+Three passes — Alter script linting, communication-schedule analysis, and
+buffer-hazard detection — plus Designer model validation, unified behind
+:func:`analyze_application` and one :class:`AnalysisReport`.  Rule-id
+families: ``ALT0xx`` (lint), ``COMM0xx`` (schedules), ``BUF2xx`` (buffers),
+``MDL0xx`` (model validation), ``ANA000`` (a pass crashed).
+"""
+
+from .report import AnalysisReport, Finding, SEVERITIES
+from .alter_lint import builtin_signatures, lint_script, script_defines
+from .comm import (
+    CommOp,
+    CommSchedule,
+    check_comm_schedule,
+    derive_comm_schedule,
+)
+from .buffers import check_buffer_hazards, logical_buffer_specs
+from .verifier import analyze_application, lint_glue_scripts
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "SEVERITIES",
+    "builtin_signatures",
+    "lint_script",
+    "script_defines",
+    "CommOp",
+    "CommSchedule",
+    "check_comm_schedule",
+    "derive_comm_schedule",
+    "check_buffer_hazards",
+    "logical_buffer_specs",
+    "analyze_application",
+    "lint_glue_scripts",
+]

@@ -1,0 +1,117 @@
+"""The SAGE Verifier: run every static-analysis pass over a mapped model.
+
+:func:`analyze_application` is the one entry point the CLI, the glue-code
+generator's strict mode, and the CI ``analyze`` job all share.  It runs, in
+order:
+
+1. Designer model validation (``MDL0xx``),
+2. the Alter linter over the glue scripts (``ALT0xx``),
+3. the communication-schedule analyzer (``COMM0xx``),
+4. the buffer-hazard detector (``BUF2xx``),
+
+each isolated so one pass crashing (``ANA000``) never hides the others'
+findings, and folds everything into a single
+:class:`~repro.analysis.report.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.model.application import ApplicationModel, ModelError
+from ..core.model.mapping import Mapping
+from ..core.model.validation import validate_application
+from .alter_lint import GLUE_GLOBALS, lint_script, script_defines
+from .buffers import check_buffer_hazards, logical_buffer_specs
+from .comm import check_comm_schedule, derive_comm_schedule
+from .report import AnalysisReport, Finding
+
+__all__ = ["analyze_application", "lint_glue_scripts"]
+
+
+def lint_glue_scripts(
+    extra_scripts: Optional[Sequence[Tuple[str, str]]] = None,
+) -> List[Finding]:
+    """Lint the standard glue scripts plus any user extensions, in sequence.
+
+    Each script is linted with the generator-injected globals *and* the
+    top-level defines of every earlier script visible, matching how the
+    generator runs them in one shared interpreter.
+    """
+    from ..core.codegen.scripts import ALL_SCRIPTS
+
+    findings: List[Finding] = []
+    known: set = set(GLUE_GLOBALS)
+    for name, source in list(ALL_SCRIPTS) + list(extra_scripts or []):
+        findings.extend(lint_script(source, name, tuple(sorted(known))))
+        known.update(script_defines(source))
+    return findings
+
+
+def analyze_application(
+    app: ApplicationModel,
+    mapping: Optional[Mapping] = None,
+    nprocs: Optional[int] = None,
+    memory_bytes: Optional[int] = None,
+    extra_scripts: Optional[Sequence[Tuple[str, str]]] = None,
+    suppress: Sequence[str] = (),
+) -> AnalysisReport:
+    """Run the full SAGE Verifier over a model; never raises on bad models.
+
+    ``mapping`` and ``nprocs`` enable the communication-schedule pass and
+    the per-processor parts of the buffer pass; ``memory_bytes`` (per-node
+    DRAM, e.g. from a :mod:`~repro.machine.platforms` preset's CPU spec)
+    enables the capacity rules.
+    """
+    report = AnalysisReport(model_name=app.name)
+
+    def run_pass(name, fn):
+        try:
+            fn()
+        except Exception as exc:  # isolate passes from one another
+            report.add(
+                Finding(
+                    "error", "ANA000", f"{app.name}:{name}",
+                    f"analysis pass crashed: {exc}",
+                    "this is a verifier bug or a structurally broken model",
+                    name,
+                )
+            )
+        report.record_pass(name)
+
+    def model_pass():
+        report.absorb_validation(validate_application(app, strict=False))
+
+    def lint_pass():
+        report.extend(lint_glue_scripts(extra_scripts))
+
+    def comm_pass():
+        schedule = derive_comm_schedule(app, mapping, nprocs)
+        report.extend(check_comm_schedule(schedule))
+
+    def buffer_pass():
+        specs = logical_buffer_specs(app)
+        execution_order = None
+        try:
+            execution_order = [i.function_id for i in app.topological_order()]
+        except ModelError:
+            pass  # the model pass reports the cycle
+        report.extend(
+            check_buffer_hazards(
+                specs,
+                mapping=mapping,
+                nprocs=nprocs,
+                execution_order=execution_order,
+                memory_bytes=memory_bytes,
+            )
+        )
+
+    run_pass("model-validation", model_pass)
+    run_pass("alter-lint", lint_pass)
+    if mapping is not None and nprocs is not None:
+        run_pass("comm-schedule", comm_pass)
+    run_pass("buffer-hazards", buffer_pass)
+
+    if suppress:
+        report = report.suppress(list(suppress))
+    return report

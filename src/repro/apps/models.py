@@ -13,7 +13,6 @@ axis 1 forces the run-time to perform the all-to-all tile exchange.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from ..core.model import (
     ApplicationModel,

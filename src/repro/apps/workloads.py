@@ -8,7 +8,6 @@ SAGE runs consume bit-identical inputs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -2,7 +2,7 @@
 
 from .errors import AlterError, AlterRuntimeError, AlterSyntaxError
 from .lexer import Token, tokenize
-from .parser import Symbol, parse, parse_one, to_source
+from .parser import Symbol, parse, parse_one, parse_with_locations, to_source
 from .interpreter import Environment, Interpreter, Lambda
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "Symbol",
     "parse",
     "parse_one",
+    "parse_with_locations",
     "to_source",
     "Environment",
     "Interpreter",

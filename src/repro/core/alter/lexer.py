@@ -9,7 +9,7 @@ s-expression fare: parentheses, quote, strings, numbers, booleans, symbols;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Union
+from typing import List, Union
 
 from .errors import AlterSyntaxError
 

@@ -6,12 +6,12 @@ forms, :class:`Symbol` for identifiers, and str/int/float/bool for literals.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from .errors import AlterSyntaxError
 from .lexer import Token, tokenize
 
-__all__ = ["Symbol", "parse", "parse_one", "to_source"]
+__all__ = ["Symbol", "parse", "parse_one", "parse_with_locations", "to_source"]
 
 
 class Symbol(str):
@@ -34,6 +34,24 @@ def parse(source: str) -> List[Any]:
     return out
 
 
+def parse_with_locations(source: str) -> Tuple[List[Any], Dict[int, Tuple[int, int]]]:
+    """Parse a program, also returning source positions for analysis tools.
+
+    The second return value maps ``id(node)`` (for list and :class:`Symbol`
+    nodes, which are freshly allocated per parse) to their 1-based
+    ``(line, col)``.  Literals (ints, strings, booleans) are not tracked:
+    Python interns them, so their ``id`` is not a reliable key.
+    """
+    tokens = tokenize(source)
+    pos = 0
+    out: List[Any] = []
+    locs: Dict[int, Tuple[int, int]] = {}
+    while pos < len(tokens):
+        expr, pos = _read(tokens, pos, locs)
+        out.append(expr)
+    return out, locs
+
+
 def parse_one(source: str) -> Any:
     """Parse exactly one expression."""
     exprs = parse(source)
@@ -42,27 +60,36 @@ def parse_one(source: str) -> Any:
     return exprs[0]
 
 
-def _read(tokens: List[Token], pos: int):
+def _read(tokens: List[Token], pos: int,
+          locs: Optional[Dict[int, Tuple[int, int]]] = None):
     if pos >= len(tokens):
         raise AlterSyntaxError("unexpected end of input")
     tok = tokens[pos]
     if tok.kind == "lparen":
         pos += 1
         items: List[Any] = []
+        if locs is not None:
+            locs[id(items)] = (tok.line, tok.col)
         while True:
             if pos >= len(tokens):
                 raise AlterSyntaxError("unclosed '('", tok.line, tok.col)
             if tokens[pos].kind == "rparen":
                 return items, pos + 1
-            expr, pos = _read(tokens, pos)
+            expr, pos = _read(tokens, pos, locs)
             items.append(expr)
     if tok.kind == "rparen":
         raise AlterSyntaxError("unexpected ')'", tok.line, tok.col)
     if tok.kind == "quote":
-        expr, pos = _read(tokens, pos + 1)
-        return [Symbol("quote"), expr], pos
+        expr, pos = _read(tokens, pos + 1, locs)
+        quoted = [Symbol("quote"), expr]
+        if locs is not None:
+            locs[id(quoted)] = (tok.line, tok.col)
+        return quoted, pos
     if tok.kind == "symbol":
-        return Symbol(tok.value), pos + 1
+        sym = Symbol(tok.value)
+        if locs is not None:
+            locs[id(sym)] = (tok.line, tok.col)
+        return sym, pos + 1
     # string / number / bool literals pass through
     return tok.value, pos + 1
 

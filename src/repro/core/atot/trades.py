@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ...machine.platforms import PLATFORMS, PlatformSpec, get_platform
+from ...machine.platforms import PLATFORMS, get_platform
 from ..model.application import ApplicationModel, ModelError
 from ..model.mapping import Mapping
 from .ga import GaConfig

@@ -98,6 +98,7 @@ def generate_glue(
     num_processors: int,
     optimize_buffers: bool = False,
     validate: bool = True,
+    analyze: bool = True,
     extra_scripts: Optional[List[tuple]] = None,
 ) -> GlueModule:
     """Run the Alter glue scripts over a mapped model.
@@ -116,6 +117,10 @@ def generate_glue(
         of unique ones per function).
     validate:
         Run Designer validation before generating.
+    analyze:
+        Run the SAGE Verifier (:mod:`repro.analysis`) strict mode: lint each
+        Alter script before it executes and reject models whose derived
+        communication schedule deadlocks or whose buffers carry hazards.
     extra_scripts:
         Additional ``(name, alter_source)`` pairs appended after the standard
         scripts — the hook user-defined codegen extensions plug into.
@@ -129,6 +134,50 @@ def generate_glue(
     interp.globals.define("mapping", mapping)
     interp.globals.define("nprocs", num_processors)
     interp.globals.define("options", {"optimize_buffers": optimize_buffers})
+
+    if analyze:
+        # Late import: repro.analysis imports the scripts module from here.
+        from ...analysis.alter_lint import GLUE_GLOBALS, lint_script, script_defines
+
+        known = set(GLUE_GLOBALS)
+        for name, script in list(ALL_SCRIPTS) + list(extra_scripts or []):
+            errors = [
+                f for f in lint_script(script, name, tuple(sorted(known)))
+                if f.severity == "error"
+            ]
+            if errors:
+                rendered = "\n".join(f.render() for f in errors)
+                raise ModelError(
+                    f"glue script {name!r} failed static analysis:\n{rendered}"
+                )
+            known.update(script_defines(script))
+
+        from ...analysis.buffers import check_buffer_hazards, logical_buffer_specs
+        from ...analysis.comm import check_comm_schedule, derive_comm_schedule
+
+        schedule = derive_comm_schedule(app, mapping, num_processors)
+        problems = [
+            f for f in check_comm_schedule(schedule) if f.severity == "error"
+        ]
+        try:
+            execution_order = [i.function_id for i in app.topological_order()]
+        except ModelError:
+            execution_order = None
+        problems += [
+            f
+            for f in check_buffer_hazards(
+                logical_buffer_specs(app),
+                mapping=mapping,
+                nprocs=num_processors,
+                execution_order=execution_order,
+            )
+            if f.severity == "error"
+        ]
+        if problems:
+            rendered = "\n".join(f.render() for f in problems)
+            raise ModelError(
+                f"model {app.name!r} failed static analysis:\n{rendered}"
+            )
 
     for name, script in list(ALL_SCRIPTS) + list(extra_scripts or []):
         try:

@@ -14,7 +14,7 @@ tool manipulated.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .datatypes import DataType, REPLICATED, Striping
 

@@ -11,11 +11,10 @@ quad-PowerPC boards in a VME chassis over Myrinet) is provided as a builder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ...machine.cluster import SimCluster
-from ...machine.interconnect import FabricSpec, LinkSpec
+from ...machine.interconnect import FabricSpec
 from ...machine.node import CpuSpec
 from ...machine.platforms import PlatformSpec, get_platform
 from ...machine.simulator import Environment

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .application import ApplicationModel, FunctionInstance, ModelError
+from .application import ApplicationModel, ModelError
 
 __all__ = [
     "Mapping",

@@ -4,26 +4,44 @@ Catches the classes of wiring errors the paper credits SAGE with preventing
 ("creation of executable systems ... with fewer errors", §4): dangling ports,
 shape-incompatible arcs, stripe axes outside the data rank, thread counts
 that do not divide striped extents, and cyclic dataflow.
+
+Each issue carries a stable rule id (``MDL0xx``) so the SAGE Verifier
+(:mod:`repro.analysis`) can fold Designer validation into its unified
+:class:`~repro.analysis.report.AnalysisReport` and findings can be
+suppressed per rule.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import List
 
 from .application import ApplicationModel, FunctionBlock, ModelError, Port
 
 __all__ = ["validate_application", "ValidationIssue"]
 
+_SEVERITY_RANK = {"error": 0, "warning": 1}
 
+
+@functools.total_ordering
 class ValidationIssue:
-    """One problem found during validation."""
+    """One problem found during validation.
 
-    def __init__(self, severity: str, where: str, message: str):
-        if severity not in ("error", "warning"):
+    Instances are value objects: hashable and orderable (errors sort before
+    warnings, then by location and message), so issue lists can be
+    deduplicated with sets and compared deterministically.
+    """
+
+    def __init__(self, severity: str, where: str, message: str, rule: str = "MDL000"):
+        if severity not in _SEVERITY_RANK:
             raise ValueError(f"bad severity {severity!r}")
         self.severity = severity
         self.where = where
         self.message = message
+        self.rule = rule
+
+    def _key(self):
+        return (_SEVERITY_RANK[self.severity], self.where, self.message)
 
     def __repr__(self):
         return f"[{self.severity}] {self.where}: {self.message}"
@@ -34,6 +52,14 @@ class ValidationIssue:
             and (self.severity, self.where, self.message)
             == (other.severity, other.where, other.message)
         )
+
+    def __hash__(self):
+        return hash((self.severity, self.where, self.message))
+
+    def __lt__(self, other):
+        if not isinstance(other, ValidationIssue):
+            return NotImplemented
+        return self._key() < other._key()
 
 
 def validate_application(app: ApplicationModel, strict: bool = True) -> List[ValidationIssue]:
@@ -51,7 +77,10 @@ def validate_application(app: ApplicationModel, strict: bool = True) -> List[Val
 
     instances = app.function_instances()
     if not instances:
-        issues.append(ValidationIssue("error", app.name, "application has no function blocks"))
+        issues.append(
+            ValidationIssue("error", app.name, "application has no function blocks",
+                            rule="MDL001")
+        )
 
     for inst in instances:
         _check_block(inst.path, inst.block, connected, issues)
@@ -65,6 +94,7 @@ def validate_application(app: ApplicationModel, strict: bool = True) -> List[Val
                     "error",
                     dst.qualified_name,
                     "input port has multiple incoming arcs",
+                    rule="MDL005",
                 )
             )
         dst_seen[id(dst)] = src
@@ -72,7 +102,7 @@ def validate_application(app: ApplicationModel, strict: bool = True) -> List[Val
     try:
         app.topological_order()
     except ModelError as exc:
-        issues.append(ValidationIssue("error", app.name, str(exc)))
+        issues.append(ValidationIssue("error", app.name, str(exc), rule="MDL006"))
 
     if strict:
         errors = [i for i in issues if i.severity == "error"]
@@ -87,7 +117,7 @@ def _check_arc(src: Port, dst: Port, issues: List[ValidationIssue]) -> None:
     where = f"{src.qualified_name}->{dst.qualified_name}"
     if src.datatype.dtype != dst.datatype.dtype:
         issues.append(
-            ValidationIssue("error", where, "element dtype mismatch")
+            ValidationIssue("error", where, "element dtype mismatch", rule="MDL002")
         )
     if src.datatype.total_elems != dst.datatype.total_elems:
         issues.append(
@@ -95,6 +125,7 @@ def _check_arc(src: Port, dst: Port, issues: List[ValidationIssue]) -> None:
                 "error",
                 where,
                 f"logical sizes differ: {src.datatype.shape} vs {dst.datatype.shape}",
+                rule="MDL003",
             )
         )
     elif src.datatype.shape != dst.datatype.shape:
@@ -104,13 +135,16 @@ def _check_arc(src: Port, dst: Port, issues: List[ValidationIssue]) -> None:
                 where,
                 f"shapes differ but sizes agree: {src.datatype.shape} vs "
                 f"{dst.datatype.shape} (treated as a reshape)",
+                rule="MDL004",
             )
         )
 
 
 def _check_block(path: str, block: FunctionBlock, connected: set, issues: List[ValidationIssue]) -> None:
     if not block.ports:
-        issues.append(ValidationIssue("warning", path, "block has no ports"))
+        issues.append(
+            ValidationIssue("warning", path, "block has no ports", rule="MDL007")
+        )
     for port in block.ports.values():
         if id(port) not in connected:
             issues.append(
@@ -118,6 +152,7 @@ def _check_block(path: str, block: FunctionBlock, connected: set, issues: List[V
                     "error" if port.direction == "in" else "warning",
                     port.qualified_name,
                     "port is not connected",
+                    rule="MDL008",
                 )
             )
         st = port.striping
@@ -130,6 +165,7 @@ def _check_block(path: str, block: FunctionBlock, connected: set, issues: List[V
                         port.qualified_name,
                         f"stripe axis {st.axis} out of range for shape "
                         f"{port.datatype.shape}",
+                        rule="MDL009",
                     )
                 )
             else:
@@ -140,6 +176,7 @@ def _check_block(path: str, block: FunctionBlock, connected: set, issues: List[V
                             "error",
                             port.qualified_name,
                             f"{block.threads} threads exceed stripe extent {extent}",
+                            rule="MDL010",
                         )
                     )
                 elif st.kind == "cyclic":
@@ -151,5 +188,6 @@ def _check_block(path: str, block: FunctionBlock, connected: set, issues: List[V
                                 port.qualified_name,
                                 f"{block.threads} threads but only {blocks} cyclic "
                                 f"blocks; some threads own no data",
+                                rule="MDL011",
                             )
                         )

@@ -22,10 +22,10 @@ import dataclasses
 import statistics
 from typing import Dict, List, Optional, Sequence
 
-from ..core.runtime import DEFAULT_CONFIG, RuntimeConfig
+from ..core.runtime import DEFAULT_CONFIG
 from ..machine import get_platform
 from .runner import FULL_PROTOCOL, QUICK_PROTOCOL, Protocol, measure_hand, measure_sage
-from .table1 import APPS, ARRAY_SIZES, NODE_COUNTS
+from .table1 import APPS, NODE_COUNTS
 
 __all__ = ["two_node_study", "optimized_glue_study", "knob_study", "main"]
 

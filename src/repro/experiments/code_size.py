@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from ..apps import corner_turn_model, corner_turn_rank, fft2d_model, fft2d_rank
 from ..apps.models import benchmark_mapping

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..machine import PLATFORMS, get_platform
+from ..machine import get_platform
 from .runner import FULL_PROTOCOL, QUICK_PROTOCOL, Protocol, measure_hand
 
 __all__ = ["CrossVendorResult", "run_crossvendor", "format_crossvendor", "main",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from ..apps import (
 )
 from ..core.codegen import generate_glue
 from ..core.runtime import DEFAULT_CONFIG, RuntimeConfig, SageRuntime
-from ..machine import Environment, PlatformSpec, SimCluster, get_platform
+from ..machine import Environment, PlatformSpec, SimCluster
 from ..mpi import MpiWorld
 
 __all__ = ["Protocol", "Measurement", "measure_sage", "measure_hand", "APP_BUILDERS"]

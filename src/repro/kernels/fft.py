@@ -11,7 +11,6 @@ as a fast backend for large benchmark runs.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,6 @@ composes.  Validated against scipy in the tests.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

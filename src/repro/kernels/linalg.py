@@ -6,7 +6,6 @@ performance model charges.  Validated against numpy in the tests.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

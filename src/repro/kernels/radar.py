@@ -9,7 +9,6 @@ Validated against direct/scipy computations in the tests.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 

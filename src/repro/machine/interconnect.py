@@ -16,7 +16,7 @@ are faster than *inter-board* transfers across the Myrinet fabric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from .simulator import Environment, Resource
 

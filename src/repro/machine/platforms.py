@@ -18,7 +18,7 @@ the run-time, configured in :mod:`repro.core.runtime`, not of the platform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from .interconnect import FabricSpec, LinkSpec
 from .node import CpuSpec

@@ -16,7 +16,7 @@ by it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 

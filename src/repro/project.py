@@ -36,7 +36,7 @@ from .core.model import (
 )
 from .core.runtime import DEFAULT_CONFIG, RunResult, RuntimeConfig, SageRuntime
 from .core.visualizer import run_report, run_summary
-from .machine import Environment, PlatformSpec, SimCluster, get_platform
+from .machine import Environment, PlatformSpec, get_platform
 
 __all__ = ["SageProject"]
 

@@ -1,0 +1,281 @@
+"""Seeded-defect corpus for the SAGE Verifier.
+
+One deliberately broken artifact per analysis rule, each annotated with the
+rule id it must trigger and where.  The test modules sweep this corpus and
+assert every seed is caught — and that the clean FFT2D / corner-turn apps
+trigger nothing (zero false positives).
+"""
+
+from repro.analysis.comm import CommOp, CommSchedule
+from repro.core.model import (
+    ApplicationModel,
+    DataType,
+    FunctionBlock,
+    Mapping,
+    REPLICATED,
+    striped,
+)
+
+# ---------------------------------------------------------------------------
+# Alter lint seeds: (seed name, script source, expected rule, where fragment)
+# ---------------------------------------------------------------------------
+
+LINT_SEEDS = [
+    (
+        "unclosed-paren",
+        "(define x (car",
+        "ALT000",
+        ":1:",
+    ),
+    (
+        "unbound-symbol",
+        "(emit-line (lenght (function-instances model)))",
+        "ALT001",
+        ":1:13",
+    ),
+    (
+        "builtin-arity",
+        "(emit-line (cons 1))",
+        "ALT002",
+        ":1:13",
+    ),
+    (
+        "user-arity",
+        "(define (pair a b) (cons a b))\n(emit-line (pair 1 2 3))",
+        "ALT002",
+        ":2:13",
+    ),
+    (
+        "unused-define",
+        "(define never-used 42)\n(emit-line 1)",
+        "ALT003",
+        ":1:1",
+    ),
+    (
+        "shadowed-builtin",
+        "(define (f length) length)\n(emit-line (f 3))",
+        "ALT004",
+        ":1:",
+    ),
+    (
+        "shadowed-outer",
+        "(let ((x 1)) (let ((x 2)) (emit-line x)))",
+        "ALT004",
+        ":1:20",
+    ),
+    (
+        "unreachable-if",
+        '(if #f (emit-line "dead") (emit-line "live"))',
+        "ALT005",
+        ":1:8",
+    ),
+    (
+        "unreachable-cond",
+        '(cond (#t (emit-line "always")) ((car (list 1)) (emit-line "never")))',
+        "ALT005",
+        ":1:33",
+    ),
+    (
+        "malformed-define",
+        "(define)",
+        "ALT006",
+        ":1:1",
+    ),
+    (
+        "malformed-set",
+        "(set! 3 4)",
+        "ALT006",
+        ":1:1",
+    ),
+    (
+        "constant-call",
+        "(emit-line (true))",
+        "ALT002",
+        ":1:13",
+    ),
+]
+
+#: Scripts that must lint perfectly clean (no errors, no warnings).
+LINT_CLEAN = [
+    (
+        "clean-traversal",
+        "\n".join(
+            [
+                "(define (describe inst)",
+                "  (string-append (instance-path inst) \"/\"",
+                "                 (number->string (instance-threads inst))))",
+                "(for-each (lambda (inst) (emit-line (describe inst)))",
+                "          (function-instances model))",
+            ]
+        ),
+    ),
+    (
+        "clean-let-loop",
+        "(let loop ((i 0)) (when (< i nprocs) (emit-line i) (loop (+ i 1))))",
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Communication-schedule seeds
+# ---------------------------------------------------------------------------
+
+
+def ring_deadlock_schedule() -> CommSchedule:
+    """Every rank receives from its left neighbour before sending right —
+    the classic head-to-head exchange deadlock (ISSUE acceptance case)."""
+    nprocs = 3
+    ops = {}
+    for r in range(nprocs):
+        left = (r - 1) % nprocs
+        right = (r + 1) % nprocs
+        ops[r] = [
+            CommOp("recv", peer=left, tag=0, where=f"ring arc {left}->{r}"),
+            CommOp("send", peer=right, tag=0, where=f"ring arc {r}->{right}"),
+        ]
+    return CommSchedule(nprocs=nprocs, ops=ops, model_name="ring")
+
+
+def unmatched_recv_schedule() -> CommSchedule:
+    return CommSchedule(
+        nprocs=2,
+        ops={0: [CommOp("recv", peer=1, tag=5, where="phantom arc")], 1: []},
+        model_name="unmatched",
+    )
+
+
+def participant_mismatch_schedule() -> CommSchedule:
+    return CommSchedule(
+        nprocs=3,
+        ops={
+            0: [CommOp("coll", tag=7, participants=(0, 1), where="corner turn")],
+            1: [CommOp("coll", tag=7, participants=(0, 1, 2), where="corner turn")],
+            2: [],
+        },
+        model_name="mismatch",
+    )
+
+
+def missing_participant_schedule() -> CommSchedule:
+    return CommSchedule(
+        nprocs=3,
+        ops={
+            0: [CommOp("coll", tag=2, participants=(0, 1, 2), where="corner turn")],
+            1: [CommOp("coll", tag=2, participants=(0, 1, 2), where="corner turn")],
+            2: [],
+        },
+        model_name="missing",
+    )
+
+
+def leaked_send_schedule() -> CommSchedule:
+    return CommSchedule(
+        nprocs=2,
+        ops={0: [CommOp("send", peer=1, tag=3, where="dangling arc")], 1: []},
+        model_name="leak",
+    )
+
+
+def tag_mismatch_schedule() -> CommSchedule:
+    return CommSchedule(
+        nprocs=2,
+        ops={
+            0: [CommOp("send", peer=1, tag=3, where="mistagged arc")],
+            1: [CommOp("recv", peer=0, tag=9, where="mistagged arc")],
+        },
+        model_name="tags",
+    )
+
+
+COMM_SEEDS = [
+    ("ring-deadlock", ring_deadlock_schedule, "COMM001"),
+    ("unmatched-recv", unmatched_recv_schedule, "COMM002"),
+    ("participant-mismatch", participant_mismatch_schedule, "COMM003"),
+    ("missing-participant", missing_participant_schedule, "COMM003"),
+    ("leaked-send", leaked_send_schedule, "COMM004"),
+    ("tag-mismatch", tag_mismatch_schedule, "COMM005"),
+]
+
+
+def cyclic_exchange_model():
+    """A two-function model whose dataflow is a cycle: each side receives
+    before it sends, so the derived schedule deadlocks head-to-head."""
+    t = DataType("m", "float32", (8, 8))
+    app = ApplicationModel("cyclic_exchange")
+    a = app.add_block(FunctionBlock("a", kernel="relax"))
+    a.add_in("in", t, REPLICATED)
+    a.add_out("out", t, REPLICATED)
+    b = app.add_block(FunctionBlock("b", kernel="relax"))
+    b.add_in("in", t, REPLICATED)
+    b.add_out("out", t, REPLICATED)
+    app.connect(a.port("out"), b.port("in"))
+    app.connect(b.port("out"), a.port("in"))
+    mapping = Mapping()
+    mapping.assign(0, 0, 0)
+    mapping.assign(1, 0, 1)
+    return app, mapping, 2
+
+
+# ---------------------------------------------------------------------------
+# Buffer-hazard seeds: (seed name, kwargs for make_spec/check, expected rule)
+# ---------------------------------------------------------------------------
+
+
+def make_spec(**overrides) -> dict:
+    """A valid 8x8 float32 striped->replicated spec; overrides seed defects."""
+    spec = {
+        "id": 0,
+        "name": "writer.out->reader.in",
+        "shape": (8, 8),
+        "dtype": "float32",
+        "elem_bytes": 4,
+        "total_bytes": 8 * 8 * 4,
+        "src_function": 0,
+        "dst_function": 1,
+        "src_port": "out",
+        "dst_port": "in",
+        "src_striping": {"kind": "striped", "axis": 0, "block": 1},
+        "dst_striping": {"kind": "replicated", "axis": 0, "block": 1},
+        "src_threads": 4,
+        "dst_threads": 2,
+    }
+    spec.update(overrides)
+    return spec
+
+
+BUFFER_SEEDS = [
+    (
+        "inconsistent-bytes",
+        make_spec(total_bytes=17),
+        "BUF201",
+    ),
+    (
+        "axis-out-of-range",
+        make_spec(src_striping={"kind": "striped", "axis": 5, "block": 1}),
+        "BUF201",
+    ),
+    (
+        "write-write-overlap",
+        make_spec(
+            src_threads=2,
+            src_regions=[[(0, 5), (0, 8)], [(3, 8), (0, 8)]],
+        ),
+        "BUF202",
+    ),
+    (
+        "uncovered-read",
+        make_spec(
+            src_threads=2,
+            src_regions=[[(0, 3), (0, 8)], [(5, 8), (0, 8)]],
+        ),
+        "BUF203",
+    ),
+    (
+        "starved-reader",
+        make_spec(
+            dst_threads=3,
+            dst_regions=[[(0, 8), (0, 8)], [(0, 8), (0, 8)], [(0, 0), (0, 8)]],
+        ),
+        "BUF205",
+    ),
+]

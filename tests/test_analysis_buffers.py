@@ -1,0 +1,126 @@
+"""Buffer-hazard detector tests: seeded overlap/coverage/capacity defects
+are caught exactly (element masks, not heuristics) and striping-derived
+specs from the example apps carry no hazards."""
+
+import pytest
+
+from tests.analysis_corpus import BUFFER_SEEDS, make_spec
+from repro.analysis import check_buffer_hazards, logical_buffer_specs
+from repro.apps.models import corner_turn_model, fft2d_model
+from repro.core.model import round_robin_mapping
+
+
+class TestSeededDefects:
+    @pytest.mark.parametrize(
+        "name,spec,rule", BUFFER_SEEDS, ids=[s[0] for s in BUFFER_SEEDS]
+    )
+    def test_seed_is_caught(self, name, spec, rule):
+        findings = check_buffer_hazards([spec])
+        assert any(f.rule == rule for f in findings), (
+            f"seed {name!r} did not trigger {rule}; got "
+            f"{[f.render() for f in findings]}"
+        )
+
+    def test_overlap_reports_element_and_owners(self):
+        spec = make_spec(
+            src_threads=2, src_regions=[[(0, 5), (0, 8)], [(3, 8), (0, 8)]]
+        )
+        (finding,) = [
+            f for f in check_buffer_hazards([spec]) if f.rule == "BUF202"
+        ]
+        assert "(3, 0)" in finding.message
+        assert "[0, 1]" in finding.message
+        assert finding.where == "writer.out->reader.in"
+
+    def test_uncovered_read_reports_first_element(self):
+        spec = make_spec(
+            src_threads=2, src_regions=[[(0, 3), (0, 8)], [(5, 8), (0, 8)]]
+        )
+        findings = [
+            f for f in check_buffer_hazards([spec]) if f.rule == "BUF203"
+        ]
+        assert findings
+        assert "(3, 0)" in findings[0].message
+
+    def test_read_before_write_in_execution_order(self):
+        findings = check_buffer_hazards(
+            [make_spec()], execution_order=[1, 0]
+        )
+        assert any(f.rule == "BUF204" for f in findings)
+        # The correct order is hazard-free.
+        assert check_buffer_hazards([make_spec()], execution_order=[0, 1]) == []
+
+    def test_capacity_error_and_warning(self):
+        from repro.core.model import Mapping
+
+        # One 8x8 float32 buffer, both endpoints replicated single-thread on
+        # processor 0: footprint is exactly 2 x 256 = 512 bytes there.
+        spec = make_spec(
+            src_threads=1,
+            dst_threads=1,
+            src_striping={"kind": "replicated", "axis": 0, "block": 1},
+        )
+        mapping = Mapping()
+        mapping.assign(0, 0, 0)
+        mapping.assign(1, 0, 0)
+
+        def sweep(memory_bytes):
+            return check_buffer_hazards(
+                [spec], mapping=mapping, nprocs=1, memory_bytes=memory_bytes
+            )
+
+        assert any(f.rule == "BUF206" for f in sweep(500))   # 512 > 500
+        assert any(f.rule == "BUF207" for f in sweep(600))   # 85% of DRAM
+        assert sweep(10_000) == []                            # plenty of room
+
+    def test_unmapped_thread_is_reported(self):
+        from repro.core.model import Mapping
+
+        mapping = Mapping()
+        mapping.assign(0, 0, 0)  # only one of the writer's four threads
+        findings = check_buffer_hazards(
+            [make_spec()], mapping=mapping, nprocs=2, memory_bytes=1 << 20
+        )
+        assert any(f.rule == "BUF201" for f in findings)
+
+
+class TestCleanSpecs:
+    @pytest.mark.parametrize("nodes", [1, 2, 4])
+    @pytest.mark.parametrize("builder", [fft2d_model, corner_turn_model])
+    def test_example_apps_have_no_hazards(self, builder, nodes):
+        app = builder(32, nodes=nodes)
+        mapping = round_robin_mapping(app, nodes)
+        order = [i.function_id for i in app.topological_order()]
+        findings = check_buffer_hazards(
+            logical_buffer_specs(app),
+            mapping=mapping,
+            nprocs=nodes,
+            execution_order=order,
+            memory_bytes=64 * 1024 * 1024,
+        )
+        assert findings == [], [f.render() for f in findings]
+
+    def test_specs_match_glue_buffer_shape(self):
+        from repro.core.codegen import generate_glue
+
+        app = fft2d_model(32, nodes=2)
+        mapping = round_robin_mapping(app, 2)
+        glue = generate_glue(app, mapping, num_processors=2)
+        derived = logical_buffer_specs(app)
+        assert len(derived) == len(glue.logical_buffers)
+        for mine, theirs in zip(derived, glue.logical_buffers):
+            assert mine["id"] == theirs["id"]
+            assert tuple(mine["shape"]) == tuple(theirs["shape"])
+            assert mine["total_bytes"] == theirs["total_bytes"]
+            assert mine["src_function"] == theirs["src_function"]
+            assert mine["dst_function"] == theirs["dst_function"]
+            assert mine["src_threads"] == theirs["src_threads"]
+            assert mine["dst_threads"] == theirs["dst_threads"]
+
+    def test_replicated_writers_do_not_overlap(self):
+        # Replicated sources write identical full copies by design: no BUF202.
+        spec = make_spec(
+            src_striping={"kind": "replicated", "axis": 0, "block": 1},
+            src_threads=4,
+        )
+        assert check_buffer_hazards([spec]) == []

@@ -1,0 +1,114 @@
+"""CLI tests for ``python -m repro analyze``."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.apps import benchmark_mapping, fft2d_model
+from repro.core.model import cspi_hardware, save_design
+
+
+@pytest.fixture
+def design_path(tmp_path):
+    app = fft2d_model(32, 2)
+    path = str(tmp_path / "design.json")
+    save_design(path, app, hardware=cspi_hardware(2),
+                mapping=benchmark_mapping(app, 2))
+    return path
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_analyze_builtin_fft2d_clean(in_tmp, capsys):
+    assert main(["analyze", "fft2d", "--n", "32", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings: model is clean" in out
+    assert "comm-schedule" in out
+
+
+def test_analyze_builtin_cornerturn_with_platform(in_tmp, capsys):
+    assert main(
+        ["analyze", "cornerturn", "--n", "32", "--nodes", "4",
+         "--platform", "cspi"]
+    ) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_analyze_design_document(design_path, in_tmp, capsys):
+    assert main(["analyze", design_path]) == 0
+    out = capsys.readouterr().out
+    assert "model is clean" in out
+
+
+def test_analyze_writes_json_report(in_tmp, capsys):
+    assert main(["analyze", "fft2d", "--n", "32", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    (line,) = [l for l in out.splitlines() if l.startswith("report written")]
+    path = line.split()[-1]
+    assert os.path.exists(path)
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["ok"] is True
+    assert data["passes"] == [
+        "model-validation", "alter-lint", "comm-schedule", "buffer-hazards",
+    ]
+
+
+def test_analyze_json_format(in_tmp, capsys):
+    assert main(
+        ["analyze", "fft2d", "--n", "32", "--nodes", "2", "--format", "json"]
+    ) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["findings"] == []
+
+
+def test_analyze_output_path_override(in_tmp, tmp_path, capsys):
+    target = str(tmp_path / "custom.json")
+    assert main(
+        ["analyze", "fft2d", "--n", "32", "--nodes", "2", "-o", target]
+    ) == 0
+    with open(target) as fh:
+        assert json.load(fh)["model"].startswith("fft2d")
+
+
+def _broken_design(tmp_path):
+    """A design whose mapping round-trips but whose model deadlocks."""
+    from tests.analysis_corpus import cyclic_exchange_model
+    from repro.core.model import save_design
+
+    app, mapping, nprocs = cyclic_exchange_model()
+    path = str(tmp_path / "broken.json")
+    save_design(path, app, hardware=cspi_hardware(nprocs), mapping=mapping)
+    return path
+
+
+def test_analyze_strict_exits_nonzero_on_errors(in_tmp, tmp_path, capsys):
+    path = _broken_design(tmp_path)
+    assert main(["analyze", path]) == 1
+    out = capsys.readouterr().out
+    assert "COMM001" in out or "MDL006" in out
+
+
+def test_analyze_no_strict_exits_zero(in_tmp, tmp_path, capsys):
+    path = _broken_design(tmp_path)
+    assert main(["analyze", path, "--no-strict"]) == 0
+    assert "error" in capsys.readouterr().out
+
+
+def test_analyze_suppress_rules(in_tmp, tmp_path, capsys):
+    path = _broken_design(tmp_path)
+    code = main(
+        ["analyze", path,
+         "--suppress", "MDL006,COMM001,COMM002,COMM004,BUF204"]
+    )
+    out = capsys.readouterr().out
+    assert "MDL006" not in out
+    assert "COMM001" not in out
+    assert code == 0, out

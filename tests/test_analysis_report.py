@@ -1,0 +1,143 @@
+"""AnalysisReport / Finding / ValidationIssue value-type tests, plus the
+end-to-end verifier over clean and seeded-defect models."""
+
+import json
+
+import pytest
+
+from tests.analysis_corpus import cyclic_exchange_model
+from repro.analysis import AnalysisReport, Finding, analyze_application
+from repro.apps.models import corner_turn_model, fft2d_model
+from repro.core.model import round_robin_mapping
+from repro.core.model.validation import ValidationIssue
+
+
+class TestFinding:
+    def test_rejects_bad_severity(self):
+        with pytest.raises(ValueError):
+            Finding("fatal", "X001", "here", "boom")
+
+    def test_render_includes_rule_location_hint(self):
+        f = Finding("error", "ALT001", "s:1:2", "unbound symbol 'x'", "define it")
+        assert f.render() == (
+            "error[ALT001] s:1:2: unbound symbol 'x'  (hint: define it)"
+        )
+
+    def test_sorting_puts_errors_first(self):
+        warn = Finding("warning", "BUF207", "a", "near capacity")
+        err = Finding("error", "COMM001", "b", "deadlock")
+        assert sorted([warn, err], key=lambda f: f.sort_key)[0] is err
+
+    def test_from_validation_keeps_rule_and_severity(self):
+        issue = ValidationIssue("error", "blk.port", "port is not connected",
+                                rule="MDL008")
+        f = Finding.from_validation(issue)
+        assert (f.severity, f.rule, f.where) == ("error", "MDL008", "blk.port")
+        assert f.source == "model-validation"
+
+
+class TestValidationIssueValueType:
+    def test_hashable_and_deduplicates(self):
+        a = ValidationIssue("error", "x", "m", rule="MDL002")
+        b = ValidationIssue("error", "x", "m", rule="MDL002")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_orderable_errors_before_warnings(self):
+        w = ValidationIssue("warning", "a", "m1")
+        e = ValidationIssue("error", "z", "m2")
+        assert sorted([w, e]) == [e, w]
+
+    def test_orders_by_location_within_severity(self):
+        e1 = ValidationIssue("error", "a", "m")
+        e2 = ValidationIssue("error", "b", "m")
+        assert sorted([e2, e1]) == [e1, e2]
+
+    def test_repr_format_is_stable(self):
+        issue = ValidationIssue("error", "x.y", "boom")
+        assert repr(issue) == "[error] x.y: boom"
+
+
+class TestAnalysisReport:
+    def _report(self):
+        rep = AnalysisReport(model_name="m")
+        rep.add(Finding("warning", "BUF207", "p0", "near capacity"))
+        rep.add(Finding("error", "COMM001", "arc", "deadlock"))
+        rep.record_pass("comm-schedule")
+        return rep
+
+    def test_ok_and_counts(self):
+        rep = self._report()
+        assert not rep.ok
+        assert len(rep.errors) == 1
+        assert len(rep.warnings) == 1
+
+    def test_suppress_filters_rules(self):
+        rep = self._report().suppress(["COMM001"])
+        assert rep.ok
+        assert [f.rule for f in rep.findings] == ["BUF207"]
+
+    def test_raise_if_errors_renders_findings(self):
+        with pytest.raises(ValueError, match=r"COMM001.*deadlock"):
+            self._report().raise_if_errors()
+        self._report().suppress(["COMM001"]).raise_if_errors()  # no raise
+
+    def test_json_round_trip(self):
+        data = json.loads(self._report().to_json())
+        assert data["model"] == "m"
+        assert data["ok"] is False
+        assert data["counts"] == {"error": 1, "warning": 1, "info": 0}
+        assert data["findings"][0]["rule"] == "COMM001"  # errors sort first
+        assert data["passes"] == ["comm-schedule"]
+
+    def test_render_text_mentions_totals(self):
+        text = self._report().render_text()
+        assert "1 error(s), 1 warning(s)" in text
+        assert "SAGE Verifier report" in text
+
+
+class TestAnalyzeApplication:
+    @pytest.mark.parametrize("builder", [fft2d_model, corner_turn_model])
+    def test_clean_apps_have_zero_findings(self, builder):
+        app = builder(32, nodes=4)
+        report = analyze_application(
+            app, round_robin_mapping(app, 4), 4,
+            memory_bytes=64 * 1024 * 1024,
+        )
+        assert report.findings == [], report.render_text()
+        assert report.passes_run == [
+            "model-validation", "alter-lint", "comm-schedule", "buffer-hazards",
+        ]
+
+    def test_cyclic_model_gets_both_mdl_and_comm_findings(self):
+        app, mapping, nprocs = cyclic_exchange_model()
+        report = analyze_application(app, mapping, nprocs)
+        rules = {f.rule for f in report.findings}
+        assert "MDL006" in rules   # model validation sees the cycle
+        assert "COMM001" in rules  # the schedule deadlocks head-to-head
+        assert not report.ok
+
+    def test_runs_without_mapping(self):
+        app = fft2d_model(32, nodes=2)
+        report = analyze_application(app)
+        assert report.ok
+        assert "comm-schedule" not in report.passes_run
+
+    def test_broken_extra_script_is_linted(self):
+        app = fft2d_model(32, nodes=2)
+        report = analyze_application(
+            app, round_robin_mapping(app, 2), 2,
+            extra_scripts=[("broken", "(undefined-fn)")],
+        )
+        assert any(
+            f.rule == "ALT001" and "broken" in f.where for f in report.findings
+        )
+
+    def test_suppression_at_entry_point(self):
+        app, mapping, nprocs = cyclic_exchange_model()
+        report = analyze_application(
+            app, mapping, nprocs,
+            suppress=["MDL006", "COMM001", "COMM004", "BUF204"],
+        )
+        leftover = {f.rule for f in report.findings}
+        assert not leftover & {"MDL006", "COMM001", "COMM004", "BUF204"}

@@ -131,6 +131,41 @@ class TestGeneratorChecks:
                 extra_scripts=[("broken", "(undefined-fn)")],
             )
 
+    def test_broken_extra_script_caught_before_execution(self):
+        # Strict mode lints scripts first: the unbound name is reported as a
+        # static-analysis finding, not an interpreter crash mid-traversal.
+        app = build_app()
+        with pytest.raises(ModelError, match="failed static analysis") as exc:
+            generate_glue(
+                app,
+                round_robin_mapping(app, 4),
+                num_processors=4,
+                extra_scripts=[("broken", "(undefined-fn)")],
+            )
+        assert "ALT001" in str(exc.value)
+
+    def test_analyze_false_defers_to_runtime_error(self):
+        app = build_app()
+        with pytest.raises(ModelError, match="glue script 'broken' failed:"):
+            generate_glue(
+                app,
+                round_robin_mapping(app, 4),
+                num_processors=4,
+                analyze=False,
+                extra_scripts=[("broken", "(undefined-fn)")],
+            )
+
+    def test_deadlocking_model_rejected_by_analysis(self):
+        from tests.analysis_corpus import cyclic_exchange_model
+
+        app, mapping, nprocs = cyclic_exchange_model()
+        with pytest.raises(ModelError):
+            generate_glue(app, mapping, num_processors=nprocs, validate=True)
+        # Even with Designer validation off, the schedule analysis holds the
+        # line — the deadlock is caught without simulating a cycle.
+        with pytest.raises(ModelError, match="COMM001"):
+            generate_glue(app, mapping, num_processors=nprocs, validate=False)
+
     def test_missing_globals_detected(self):
         with pytest.raises(ModelError, match="missing globals"):
             load_glue_source("MODEL_NAME = 'x'\n")
