@@ -6,16 +6,16 @@ pytest-benchmark times is the wall-clock cost of regenerating the artifact.
 The reproduced quantities are attached to each benchmark's ``extra_info``
 so ``--benchmark-only`` output doubles as the reproduction record.
 
-The protocol here is reduced (1 run x 5 iterations — virtual results are
-identical to the full 10x100 protocol modulo the seeded jitter term, which
-is disabled).  EXPERIMENTS.md records the full-protocol numbers.
+The protocol here is the shared :data:`repro.experiments.BENCH_PROTOCOL`
+(1 run x 5 iterations — virtual results are identical to the full 10x100
+protocol modulo the seeded jitter term, which is disabled).  The same
+protocol drives ``python -m repro bench``, so both harnesses describe the
+same workload.  EXPERIMENTS.md records the full-protocol numbers.
 """
 
 import pytest
 
-from repro.experiments import Protocol
-
-BENCH_PROTOCOL = Protocol(runs=1, iterations=5, jitter_sigma=0.0)
+from repro.experiments import BENCH_PROTOCOL
 
 
 @pytest.fixture

@@ -8,6 +8,7 @@ kernels      the software-shelf contents (ISSPL + structural + radar)
 generate     load a design document, run the Alter glue generator, save glue
 analyze      run the SAGE Verifier (lint + schedules + buffers), no execution
 run          load a design document and execute it on a simulated platform
+bench        wall-clock benchmark of the pipeline, writes BENCH_simcore.json
 table1 / crossvendor / ablations / atot-study / period-latency
 fault-tolerance / reconfiguration
              the paper-artifact experiments (see repro.experiments)
@@ -195,6 +196,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         module = importlib.import_module(f"repro.experiments.{_EXPERIMENTS[argv[0]]}")
         return module.main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .perf import bench
+
+        return bench.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__.splitlines()[0]
@@ -246,6 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--optimized", action="store_true")
     run.set_defaults(fn=cmd_run)
 
+    sub.add_parser("bench", help="wall-clock pipeline benchmark (repro.perf.bench)")
     for name, module in _EXPERIMENTS.items():
         sub.add_parser(name, help=f"experiment: repro.experiments.{module}")
 

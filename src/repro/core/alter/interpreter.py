@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from .errors import AlterRuntimeError
-from .parser import Symbol, parse, to_source
+from .parser import Symbol, parse_cached, to_source
 
 __all__ = ["Environment", "Lambda", "Interpreter"]
 
@@ -99,7 +99,7 @@ class Interpreter:
     def run(self, source: str) -> Any:
         """Parse and evaluate a program; returns the last expression's value."""
         result = None
-        for expr in parse(source):
+        for expr in parse_cached(source):
             result = self.eval(expr, self.globals)
         return result
 

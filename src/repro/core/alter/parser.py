@@ -11,7 +11,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from .errors import AlterSyntaxError
 from .lexer import Token, tokenize
 
-__all__ = ["Symbol", "parse", "parse_one", "parse_with_locations", "to_source"]
+__all__ = [
+    "Symbol", "parse", "parse_cached", "parse_one", "parse_with_locations",
+    "to_source",
+]
 
 
 class Symbol(str):
@@ -32,6 +35,21 @@ def parse(source: str) -> List[Any]:
         expr, pos = _read(tokens, pos)
         out.append(expr)
     return out
+
+
+def parse_cached(source: str) -> List[Any]:
+    """Memoized :func:`parse` for evaluation call sites.
+
+    The glue scripts are module constants re-run for every generated model,
+    so their ASTs are cached by source text.  The interpreter treats parsed
+    nodes as read-only (it never rewrites them), which is what makes sharing
+    safe; callers that mutate ASTs must use :func:`parse`.
+    """
+    from ...perf.cache import named_cache
+
+    return named_cache("alter.parse", maxsize=256).get(
+        source, lambda: parse(source)
+    )
 
 
 def parse_with_locations(source: str) -> Tuple[List[Any], Dict[int, Tuple[int, int]]]:

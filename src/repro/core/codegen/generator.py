@@ -13,16 +13,19 @@ plus a loader that materialises it as a namespace the run-time executes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ...perf.cache import named_cache
 from ..alter import Interpreter
 from ..model.application import ApplicationModel, ModelError
 from ..model.mapping import Mapping
 from ..model.validation import validate_application
 from .scripts import ALL_SCRIPTS
 
-__all__ = ["GlueModule", "generate_glue"]
+__all__ = ["GlueModule", "generate_glue", "glue_fingerprint"]
 
 _REQUIRED_GLOBALS = (
     "MODEL_NAME",
@@ -81,15 +84,53 @@ class GlueModule:
             fh.write(self.source)
 
 
+#: fingerprint -> generated (and analysis-approved) glue source text.  The
+#: namespace is still exec'd fresh per call: the run-time mutates its tables.
+_GLUE_CACHE = named_cache("codegen.glue_source", maxsize=128)
+#: source text -> compiled code object (compilation dominates re-exec cost).
+_CODE_CACHE = named_cache("codegen.glue_code", maxsize=128)
+
+
 def load_glue_source(source: str) -> Dict[str, Any]:
     """Exec generated glue source into a fresh namespace and sanity-check it."""
     namespace: Dict[str, Any] = {}
-    code = compile(source, filename="<sage-glue>", mode="exec")
+    code = _CODE_CACHE.get(
+        source, lambda: compile(source, filename="<sage-glue>", mode="exec")
+    )
     exec(code, namespace)  # noqa: S102 - the point of a code generator
     missing = [g for g in _REQUIRED_GLOBALS if g not in namespace]
     if missing:
         raise ModelError(f"generated glue is missing globals: {missing}")
     return namespace
+
+
+def glue_fingerprint(
+    app: ApplicationModel,
+    mapping: Mapping,
+    num_processors: int,
+    optimize_buffers: bool,
+    extra_scripts: Optional[List[tuple]] = None,
+) -> str:
+    """Content digest of everything the generated glue depends on.
+
+    Serialises the full model and mapping, so mutating either (even in
+    place) yields a new fingerprint — the glue cache can never serve stale
+    source for changed inputs.
+    """
+    from ..model.serialization import application_to_dict
+
+    blob = json.dumps(
+        {
+            "app": application_to_dict(app),
+            "mapping": sorted((repr(k), v) for k, v in mapping.items()),
+            "nprocs": num_processors,
+            "optimize_buffers": bool(optimize_buffers),
+            "extra": [(n, s) for n, s in (extra_scripts or [])],
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha1(blob.encode()).hexdigest()
 
 
 def generate_glue(
@@ -124,7 +165,29 @@ def generate_glue(
     extra_scripts:
         Additional ``(name, alter_source)`` pairs appended after the standard
         scripts — the hook user-defined codegen extensions plug into.
+
+    Caching
+    -------
+    Generation (validation, static analysis, Alter execution) is memoized on
+    a content fingerprint of every input (:func:`glue_fingerprint`) plus the
+    ``validate``/``analyze`` flags: a hit means this exact model/mapping
+    already generated — and, when analysis was requested, already passed the
+    Verifier — so the cached source is reused.  The namespace is *always*
+    exec'd fresh, because the run-time treats its tables as private mutable
+    state.  ``repro.perf.cache.clear_all_caches()`` invalidates explicitly.
     """
+    key = (
+        glue_fingerprint(app, mapping, num_processors, optimize_buffers,
+                         extra_scripts),
+        bool(validate),
+        bool(analyze),
+    )
+    source = _GLUE_CACHE.lookup(key)
+    if source is not None:
+        namespace = load_glue_source(source)
+        _cross_check(app, namespace)
+        return GlueModule(model_name=app.name, source=source, namespace=namespace)
+
     if validate:
         validate_application(app, strict=True)
     mapping.validate(app, processor_count=num_processors)
@@ -188,6 +251,7 @@ def generate_glue(
     source = interp.output()
     namespace = load_glue_source(source)
     _cross_check(app, namespace)
+    _GLUE_CACHE.put(key, source)
     return GlueModule(model_name=app.name, source=source, namespace=namespace)
 
 

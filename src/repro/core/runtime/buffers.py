@@ -78,6 +78,33 @@ class RuntimeBuffer:
         self._storage: Dict[int, Any] = {}
         self._pending_reads: Dict[int, int] = {}
 
+        # The kernel walks the plan per (thread, iteration); index it once.
+        self._msgs_from: Dict[int, List[PlannedMessage]] = {
+            s: [] for s in range(self.src_threads)
+        }
+        self._msgs_to: Dict[int, List[PlannedMessage]] = {
+            d: [] for d in range(self.dst_threads)
+        }
+        for m in self.plan:
+            self._msgs_from[m.src_thread].append(m)
+            self._msgs_to[m.dst_thread].append(m)
+        # Arrival slots are keyed by a message's position within its
+        # destination's list; PlannedMessage objects are shared with the
+        # process-wide plan cache, so key by identity, not equality.
+        self._msg_slot: Dict[int, int] = {}
+        for msgs in self._msgs_to.values():
+            for i, m in enumerate(msgs):
+                self._msg_slot[id(m)] = i
+        # Senders transmit in rotated order (start past your own thread id)
+        # to spread fabric load; the order is static, so compute it once.
+        self._send_order: Dict[int, List[PlannedMessage]] = {
+            s: sorted(
+                msgs,
+                key=lambda m: (m.dst_thread - s) % max(1, self.dst_threads),
+            )
+            for s, msgs in self._msgs_from.items()
+        }
+
     # -- regions -----------------------------------------------------------
     def src_region(self, thread: int) -> Region:
         return thread_region(self.shape, self.src_striping, self.src_threads, thread)
@@ -93,10 +120,18 @@ class RuntimeBuffer:
 
     # -- message plan ----------------------------------------------------------
     def messages_from(self, src_thread: int) -> List[PlannedMessage]:
-        return [m for m in self.plan if m.src_thread == src_thread]
+        return self._msgs_from.get(src_thread, [])
 
     def messages_to(self, dst_thread: int) -> List[PlannedMessage]:
-        return [m for m in self.plan if m.dst_thread == dst_thread]
+        return self._msgs_to.get(dst_thread, [])
+
+    def send_order(self, src_thread: int) -> List[PlannedMessage]:
+        """``messages_from`` in the rotated order the sender transmits them."""
+        return self._send_order.get(src_thread, [])
+
+    def message_slot(self, msg: PlannedMessage) -> int:
+        """Position of ``msg`` within its destination thread's message list."""
+        return self._msg_slot[id(msg)]
 
     # -- data path ----------------------------------------------------------------
     def _backing(self, iteration: int):

@@ -164,6 +164,9 @@ class SageRuntime:
 
         # Message arrival events: (buffer_id, iteration, dst_thread) -> [Event]
         self._arrivals: Dict[Tuple[int, int, int], List[Event]] = {}
+        # (function_id, thread) -> cached region/dtype dicts for ThreadContext
+        # (iteration-independent; kernels treat them as read-only).
+        self._ctx_dicts: Dict[Tuple[int, int], tuple] = {}
         self._thread_done: Dict[Tuple[int, int, int], Event] = {}
         self._source_times: Dict[int, float] = {}
         self._sink_times: Dict[int, float] = {}
@@ -738,14 +741,10 @@ class SageRuntime:
             if staged:
                 yield from node.copy(staged)
             buf.write(iteration, thread, outputs[buf.src_port])
-            # Rotate the send order by the sender's own index so concurrent
+            # Rotated send order (start past your own thread id) so concurrent
             # redistributions don't all target destination 0 first (ejection
             # convoys); this is the schedule a pairwise exchange produces.
-            msgs = sorted(
-                buf.messages_from(thread),
-                key=lambda m: (m.dst_thread - thread) % max(1, buf.dst_threads),
-            )
-            for msg in msgs:
+            for msg in buf.send_order(thread):
                 proc = self.env.process(
                     self._transfer_proc(buf, msg, iteration, entry),
                     name=f"xfer:{buf.name}#{iteration}",
@@ -794,8 +793,7 @@ class SageRuntime:
             detail=buf.name, nbytes=msg.nbytes,
         )
         events = self._arrival_events(buf, iteration, msg.dst_thread)
-        index = buf.messages_to(msg.dst_thread).index(msg)
-        events[index].succeed()
+        events[buf.message_slot(msg)].succeed()
 
     def _deliver(self, buf: RuntimeBuffer, msg, iteration: int,
                  src_proc: int, dst_proc: int):
@@ -844,13 +842,15 @@ class SageRuntime:
     # -- helpers ---------------------------------------------------------------
     def _make_ctx(self, entry: dict, thread: int, iteration: int) -> ThreadContext:
         fid = entry["id"]
-        in_regions = {
-            buf.dst_port: buf.dst_region(thread) for buf in self.in_buffers[fid]
-        }
-        out_regions = {
-            buf.src_port: buf.src_region(thread) for buf in self.out_buffers[fid]
-        }
-        out_dtypes = {buf.src_port: buf.dtype for buf in self.out_buffers[fid]}
+        dicts = self._ctx_dicts.get((fid, thread))
+        if dicts is None:
+            dicts = (
+                {buf.dst_port: buf.dst_region(thread) for buf in self.in_buffers[fid]},
+                {buf.src_port: buf.src_region(thread) for buf in self.out_buffers[fid]},
+                {buf.src_port: buf.dtype for buf in self.out_buffers[fid]},
+            )
+            self._ctx_dicts[(fid, thread)] = dicts
+        in_regions, out_regions, out_dtypes = dicts
         return ThreadContext(
             function_id=fid,
             name=entry["name"],
@@ -886,6 +886,8 @@ class SageRuntime:
         detail: str = "",
         nbytes: int = 0,
     ) -> None:
+        if not self.trace.enabled:
+            return  # skip the ProbeEvent allocation entirely
         self.trace.record(
             ProbeEvent(
                 time=self.env.now,
@@ -910,6 +912,8 @@ class SageRuntime:
     ) -> None:
         """Record a probe not tied to any application function (fault events,
         retries, checkpoints, detector verdicts, shrink/restripe)."""
+        if not self.trace.enabled:
+            return
         self.trace.record(
             ProbeEvent(
                 time=self.env.now,

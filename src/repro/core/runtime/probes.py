@@ -30,6 +30,10 @@ PROBE_KINDS = (
     "suspect", "declare_dead", "shrink", "restripe",
 )
 
+#: O(1) membership for the per-event validation check (PROBE_KINDS stays a
+#: tuple because its ordering is part of the public/display API).
+_PROBE_KIND_SET = frozenset(PROBE_KINDS)
+
 
 @dataclass(frozen=True)
 class ProbeEvent:
@@ -46,7 +50,7 @@ class ProbeEvent:
     nbytes: int = 0
 
     def __post_init__(self):
-        if self.kind not in PROBE_KINDS:
+        if self.kind not in _PROBE_KIND_SET:
             raise ValueError(f"unknown probe kind {self.kind!r}")
 
 

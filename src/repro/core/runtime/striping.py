@@ -30,14 +30,17 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ...kernels.cornerturn import row_block_bounds
+from ...perf.cache import named_cache
 from ..model.datatypes import Striping
 
 __all__ = [
     "AxisIndices",
     "Region",
     "thread_region",
+    "compute_thread_region",
     "intersect",
     "message_plan",
+    "compute_message_plan",
     "PlannedMessage",
     "region_elems",
     "region_shape",
@@ -161,8 +164,33 @@ class AxisIndices:
 Region = Tuple[AxisIndices, ...]
 
 
+#: regions/plans are pure functions of hashable striping parameters, so they
+#: are memoized process-wide (see repro.perf.cache for invalidation).
+_REGION_CACHE = named_cache("striping.thread_region", maxsize=4096)
+_PLAN_CACHE = named_cache("striping.message_plan", maxsize=1024)
+
+
 def thread_region(shape: Tuple[int, ...], striping: Striping, threads: int, t: int) -> Region:
-    """The region of the logical data that thread ``t`` of ``threads`` owns."""
+    """The region of the logical data that thread ``t`` of ``threads`` owns.
+
+    Memoized: regions are immutable values derived from immutable inputs
+    (``Striping`` is a frozen dataclass), and the same (shape, striping,
+    threads, t) tuples recur on every iteration of every run.
+    """
+    key = (tuple(shape), striping, threads, t)
+    region = _REGION_CACHE._data.get(key)
+    if region is not None:
+        _REGION_CACHE.hits += 1
+        return region
+    return _REGION_CACHE.get(
+        key, lambda: compute_thread_region(shape, striping, threads, t)
+    )
+
+
+def compute_thread_region(
+    shape: Tuple[int, ...], striping: Striping, threads: int, t: int
+) -> Region:
+    """Uncached :func:`thread_region`; the property tests compare the two."""
     if threads <= 0:
         raise ValueError("threads must be positive")
     if not (0 <= t < threads):
@@ -248,7 +276,32 @@ def message_plan(
     When the source is replicated (several threads hold the same data), the
     copy whose thread index matches ``d % src_threads`` supplies it, spreading
     the send load.
+
+    Memoized on the full parameter tuple; the cached plan is returned as a
+    shallow copy so callers may reorder their list without corrupting the
+    cache (``PlannedMessage`` itself is frozen and shared).
     """
+    key = (tuple(shape), elem_bytes, src_striping, src_threads,
+           dst_striping, dst_threads)
+    plan = _PLAN_CACHE.get(
+        key,
+        lambda: compute_message_plan(
+            shape, elem_bytes, src_striping, src_threads,
+            dst_striping, dst_threads,
+        ),
+    )
+    return list(plan)
+
+
+def compute_message_plan(
+    shape: Tuple[int, ...],
+    elem_bytes: int,
+    src_striping: Striping,
+    src_threads: int,
+    dst_striping: Striping,
+    dst_threads: int,
+) -> List[PlannedMessage]:
+    """Uncached :func:`message_plan`; the property tests compare the two."""
     plan: List[PlannedMessage] = []
     dst_regions = [
         thread_region(shape, dst_striping, dst_threads, d) for d in range(dst_threads)

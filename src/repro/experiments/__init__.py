@@ -2,6 +2,7 @@
 
 from .runner import (
     APP_BUILDERS,
+    BENCH_PROTOCOL,
     FULL_PROTOCOL,
     Measurement,
     Protocol,
@@ -32,6 +33,7 @@ from .reconfiguration import (
 
 __all__ = [
     "APP_BUILDERS",
+    "BENCH_PROTOCOL",
     "FULL_PROTOCOL",
     "QUICK_PROTOCOL",
     "Measurement",

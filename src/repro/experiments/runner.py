@@ -35,7 +35,10 @@ from ..core.runtime import DEFAULT_CONFIG, RuntimeConfig, SageRuntime
 from ..machine import Environment, PlatformSpec, SimCluster
 from ..mpi import MpiWorld
 
-__all__ = ["Protocol", "Measurement", "measure_sage", "measure_hand", "APP_BUILDERS"]
+__all__ = [
+    "Protocol", "Measurement", "measure_sage", "measure_hand", "APP_BUILDERS",
+    "FULL_PROTOCOL", "QUICK_PROTOCOL", "BENCH_PROTOCOL",
+]
 
 #: benchmark name -> (model builder, hand-coded rank program)
 APP_BUILDERS = {
@@ -63,6 +66,12 @@ class Protocol:
 #: The paper's full protocol and a fast variant for CI/benchmarks.
 FULL_PROTOCOL = Protocol()
 QUICK_PROTOCOL = Protocol(runs=3, iterations=10)
+#: The reduced protocol shared by ``benchmarks/`` (pytest-benchmark) and
+#: ``python -m repro bench`` — one source of truth, so wall-clock numbers
+#: from both harnesses describe the same workload.  Virtual results are
+#: identical to the full 10x100 protocol modulo the seeded jitter term,
+#: which is disabled here.
+BENCH_PROTOCOL = Protocol(runs=1, iterations=5, jitter_sigma=0.0)
 
 
 @dataclass

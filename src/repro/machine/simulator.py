@@ -11,6 +11,13 @@ Design notes
 * Events are totally ordered by ``(time, priority, sequence)`` so runs are
   deterministic: two events scheduled for the same instant fire in schedule
   order.
+* Fast path: the vast majority of schedule operations are zero-delay (an
+  event firing at the current instant — every ``succeed``/``fail``, process
+  start, and post-processing callback).  Those never enter the heap; they go
+  to two deques holding only current-instant entries (priority 0 for
+  callback hand-offs, priority 1 for events), and :meth:`Environment.step`
+  merges deques and heap in exact ``(time, priority, sequence)`` order.
+  Only real timeouts pay ``heappush``/``heappop``.
 * A process may yield:
     - :class:`Timeout`     -- resume after a virtual delay,
     - :class:`Event`       -- resume when someone triggers it,
@@ -27,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -98,7 +106,8 @@ class Event:
         self.triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env  # inlined zero-delay _schedule (hottest call site)
+        env._imm1.append((next(env._seq), self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -110,7 +119,8 @@ class Event:
         self.triggered = True
         self._ok = False
         self._value = exc
-        self.env._schedule(self)
+        env = self.env
+        env._imm1.append((next(env._seq), self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -134,7 +144,12 @@ class Timeout(Event):
         self.triggered = True
         self._ok = True
         self._value = value
-        env._schedule(self, delay=self.delay)
+        if self.delay == 0.0:
+            env._imm1.append((next(env._seq), self))
+        else:
+            heapq.heappush(
+                env._queue, (env._now + self.delay, 1, next(env._seq), self)
+            )
 
 
 class Process(Event):
@@ -151,10 +166,14 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        # Kick off at the current instant.
+        # Kick off at the current instant.  Equivalent to creating an Event,
+        # succeeding it and registering _resume, but without the method-call
+        # overhead — process starts are one of the hottest schedule sites.
         init = Event(env)
-        init.succeed()
-        init.add_callback(self._resume)
+        init.triggered = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._imm1.append((next(env._seq), init))
 
     @property
     def is_alive(self) -> bool:
@@ -198,10 +217,7 @@ class Process(Event):
         if self.triggered:
             return  # already finished (e.g. killed by an interrupt)
         self._target = None
-        if event.ok:
-            self._step(event.value, throw=False)
-        else:
-            self._step(event.value, throw=True)
+        self._step(event._value, throw=not event._ok)
 
     def _step(self, value: Any, throw: bool) -> None:
         env = self.env
@@ -300,13 +316,35 @@ class AnyOf(Event):
 
 
 class Environment:
-    """The simulation driver: virtual clock plus an event heap."""
+    """The simulation driver: virtual clock plus the event queues.
+
+    Scheduling state is split three ways (see the module docstring):
+
+    * ``_queue``  -- heap of future entries ``(time, priority, seq, event)``,
+    * ``_imm0``   -- deque of ``(seq, event, fn)`` callback hand-offs at the
+      current instant (priority 0),
+    * ``_imm1``   -- deque of ``(seq, event)`` triggered events at the
+      current instant (priority 1).
+
+    The split preserves the exact ``(time, priority, sequence)`` total order
+    of the single-heap implementation: deque entries are always stamped with
+    the current time, the clock only advances when both deques are empty, and
+    :meth:`step` compares sequence numbers against the heap top to interleave
+    same-instant heap entries correctly.
+    """
+
+    __slots__ = ("_now", "_queue", "_imm0", "_imm1", "_seq", "_active_proc",
+                 "events_processed")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Any] = []
+        self._imm0: deque = deque()
+        self._imm1: deque = deque()
         self._seq = itertools.count()
         self._active_proc: Optional[Process] = None
+        #: number of queue entries processed so far (wall-clock perf metric)
+        self.events_processed = 0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -335,25 +373,49 @@ class Environment:
 
     # -- scheduling internals ---------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event, None)
-        )
+        if delay == 0.0 and priority == 1:
+            # Zero-delay fast path: never touches the heap.
+            self._imm1.append((next(self._seq), event))
+        else:
+            heapq.heappush(
+                self._queue, (self._now + delay, priority, next(self._seq), event)
+            )
 
     def _schedule_callback(self, fn: Callable, event: Event) -> None:
-        heapq.heappush(
-            self._queue, (self._now, 0, next(self._seq), event, fn)
-        )
+        # Callback hand-offs always run at the current instant, priority 0.
+        self._imm0.append((next(self._seq), event, fn))
 
     # -- running ----------------------------------------------------------
     def step(self) -> None:
-        """Process the next scheduled entry."""
-        if not self._queue:
-            raise SimulationError("no more events")
-        when, _prio, _seq, event, single_cb = heapq.heappop(self._queue)
-        self._now = when
-        if single_cb is not None:
-            single_cb(event)
+        """Process the next scheduled entry in ``(time, priority, seq)`` order."""
+        imm0 = self._imm0
+        if imm0:
+            # Priority-0 hand-offs at the current instant always sort ahead
+            # of priority-1 entries, and the heap never holds priority 0.
+            _seq, event, fn = imm0.popleft()
+            self.events_processed += 1
+            fn(event)
             return
+        imm1 = self._imm1
+        queue = self._queue
+        event = None
+        if imm1:
+            if queue:
+                head = queue[0]
+                # A same-instant heap entry with a smaller key was scheduled
+                # before the deque head and must fire first.
+                if head[0] <= self._now and (head[1], head[2]) < (1, imm1[0][0]):
+                    heapq.heappop(queue)
+                    self._now = head[0]
+                    event = head[3]
+            if event is None:
+                event = imm1.popleft()[1]
+        else:
+            if not queue:
+                raise SimulationError("no more events")
+            when, _prio, _seq, event = heapq.heappop(queue)
+            self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         event.processed = True
         for cb in callbacks or ():
@@ -366,28 +428,30 @@ class Environment:
         virtual time), or an :class:`Event` (run until it fires, returning its
         value / raising its exception).
         """
+        step = self.step
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if not (self._imm0 or self._imm1 or self._queue):
                     raise SimulationError(
                         "simulation ran out of events before 'until' fired "
                         "(deadlock: a process is waiting on an event nobody "
                         "will trigger)"
                     )
-                self.step()
+                step()
             if stop.ok:
                 return stop.value
             raise stop.value
         if until is None:
-            while self._queue:
-                self.step()
+            while self._imm0 or self._imm1 or self._queue:
+                step()
             return None
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError("'until' is in the past")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while (self._imm0 or self._imm1
+               or (self._queue and self._queue[0][0] <= horizon)):
+            step()
         self._now = horizon
         return None
 

@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from ..machine.cluster import SimCluster
 from ..machine.faults import FaultError
 from ..machine.simulator import Environment, Event, Process
-from .datatypes import ANY_SOURCE, ANY_TAG, copy_payload, payload_nbytes
+from .datatypes import ANY_SOURCE, ANY_TAG, copy_and_size, payload_nbytes
 from .errors import (
     CorruptionError,
     DeliveryError,
@@ -88,12 +88,13 @@ class Message:
     __slots__ = ("source", "dest", "tag", "data", "nbytes", "sent_at",
                  "arrived_at", "corrupted")
 
-    def __init__(self, source: int, dest: int, tag: int, data: Any, sent_at: float):
+    def __init__(self, source: int, dest: int, tag: int, data: Any, sent_at: float,
+                 nbytes: Optional[int] = None):
         self.source = source
         self.dest = dest
         self.tag = tag
         self.data = data
-        self.nbytes = payload_nbytes(data)
+        self.nbytes = payload_nbytes(data) if nbytes is None else nbytes
         self.sent_at = sent_at
         self.arrived_at: Optional[float] = None
         self.corrupted = False
@@ -830,7 +831,8 @@ class MpiWorld:
               comm: Communicator, context: int = 0):
         if not (0 <= dest < self.size):
             raise RankError(f"destination rank {dest} out of range [0, {self.size})")
-        msg = Message(src, dest, tag, copy_payload(data), sent_at=self.env.now)
+        payload, nbytes = copy_and_size(data)
+        msg = Message(src, dest, tag, payload, sent_at=self.env.now, nbytes=nbytes)
         comm.bytes_sent += msg.nbytes
         comm.messages_sent += 1
         self.total_bytes += msg.nbytes

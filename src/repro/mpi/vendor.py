@@ -32,13 +32,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List
 
+from ..perf.cache import named_cache
 from .comm import Communicator
 from .errors import MpiError
 
 __all__ = ["get_algorithm", "ALGORITHMS", "alltoall_direct", "alltoall_pairwise",
-           "alltoall_ring", "alltoall_bruck"]
+           "alltoall_ring", "alltoall_bruck", "partner_schedule"]
 
 _TAG = (1 << 20) + 7  # dedicated slice of the collective tag space
+
+#: (algorithm, size, rank) -> per-step partner tuples; pure arithmetic on
+#: immutable inputs, recomputed on every collective call otherwise.
+_SCHEDULE_CACHE = named_cache("mpi.alltoall_schedule", maxsize=4096)
 
 
 def _tag(comm: Communicator) -> int:
@@ -47,6 +52,46 @@ def _tag(comm: Communicator) -> int:
     # 256-wide slices so per-step tag offsets (ring: up to p-1) never collide
     # with the next call's slice.
     return _TAG + (seq % (1 << 10)) * 256
+
+
+def partner_schedule(algorithm: str, size: int, rank: int):
+    """Cached per-step partner schedule for one rank of an all-to-all.
+
+    * ``pairwise``/``ring``: tuple of ``(send_to, recv_from)`` per step.
+    * ``bruck``/``recursive_doubling``: tuple of
+      ``(k, send_slots, dest, src)`` per round.
+    """
+    key = (algorithm, size, rank)
+    cached = _SCHEDULE_CACHE.lookup(key)
+    if cached is not None:
+        return cached
+    if algorithm == "pairwise":
+        if size & (size - 1) == 0:
+            sched = tuple((rank ^ s, rank ^ s) for s in range(1, size))
+        else:
+            sched = tuple(
+                ((rank + s) % size, (rank - s) % size) for s in range(1, size)
+            )
+    elif algorithm == "ring":
+        sched = tuple(
+            ((rank + s) % size, (rank - s) % size) for s in range(1, size)
+        )
+    elif algorithm in ("bruck", "recursive_doubling"):
+        rounds = []
+        k = 1
+        while k < size:
+            rounds.append((
+                k,
+                tuple(i for i in range(size) if i & k),
+                (rank + k) % size,
+                (rank - k) % size,
+            ))
+            k <<= 1
+        sched = tuple(rounds)
+    else:
+        raise MpiError(f"no partner schedule for algorithm {algorithm!r}")
+    _SCHEDULE_CACHE.put(key, sched)
+    return sched
 
 
 def alltoall_direct(comm: Communicator, blocks: List[Any]) -> Generator:
@@ -75,22 +120,11 @@ def alltoall_pairwise(comm: Communicator, blocks: List[Any]) -> Generator:
     size, rank = comm.size, comm.rank
     out: List[Any] = [None] * size
     out[rank] = blocks[rank]  # local block stays in place (tuned vendor code)
-    power_of_two = size & (size - 1) == 0
-    for step in range(1, size):
-        if power_of_two:
-            partner = rank ^ step
-            send_to = recv_from = partner
-            out[recv_from] = yield from comm.sendrecv(
-                blocks[send_to], dest=send_to, source=recv_from,
-                sendtag=tag, recvtag=tag,
-            )
-        else:
-            send_to = (rank + step) % size
-            recv_from = (rank - step) % size
-            out[recv_from] = yield from comm.sendrecv(
-                blocks[send_to], dest=send_to, source=recv_from,
-                sendtag=tag, recvtag=tag,
-            )
+    for send_to, recv_from in partner_schedule("pairwise", size, rank):
+        out[recv_from] = yield from comm.sendrecv(
+            blocks[send_to], dest=send_to, source=recv_from,
+            sendtag=tag, recvtag=tag,
+        )
     return out
 
 
@@ -100,9 +134,7 @@ def alltoall_ring(comm: Communicator, blocks: List[Any]) -> Generator:
     size, rank = comm.size, comm.rank
     out: List[Any] = [None] * size
     out[rank] = blocks[rank]  # local block stays in place (tuned vendor code)
-    for step in range(1, size):
-        dest = (rank + step) % size
-        src = (rank - step) % size
+    for step, (dest, src) in enumerate(partner_schedule("ring", size, rank), 1):
         # Serialise the steps (barrier-like pacing) by matching tags per step:
         out[src] = yield from comm.sendrecv(
             blocks[dest], dest=dest, source=src, sendtag=tag + step, recvtag=tag + step
@@ -118,21 +150,15 @@ def alltoall_bruck(comm: Communicator, blocks: List[Any]) -> Generator:
     work = [blocks[(rank + i) % size] for i in range(size)]
     yield from comm.copy(sum(_nbytes(b) for b in work))
     # Phase 2: log rounds; in round k send slots whose index has bit k set.
-    k = 1
-    round_no = 0
-    while k < size:
-        send_idx = [i for i in range(size) if i & k]
+    rounds = partner_schedule("bruck", size, rank)
+    for round_no, (_k, send_idx, dest, src) in enumerate(rounds):
         bundle = {i: work[i] for i in send_idx}
-        dest = (rank + k) % size
-        src = (rank - k) % size
         received = yield from comm.sendrecv(
             bundle, dest=dest, source=src,
             sendtag=tag + round_no, recvtag=tag + round_no,
         )
         for i, blk in received.items():
             work[i] = blk
-        k <<= 1
-        round_no += 1
     # Phase 3: inverse rotation: slot i currently holds the block *from*
     # rank (rank - i) % p.
     out: List[Any] = [None] * size

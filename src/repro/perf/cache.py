@@ -1,0 +1,114 @@
+"""Named, content-keyed caches for derived simulation artifacts.
+
+The hot path recomputes a handful of pure derivations on every run: striping
+message plans, thread regions, parsed Alter ASTs, generated glue source (and
+the analysis verdict that gates it), and collective partner schedules.  All of
+them are functions of immutable inputs, so each gets a :class:`KeyedCache`
+registered here under a stable name.
+
+Invalidation
+------------
+Keys are *content fingerprints* (shapes, striping parameters, source text,
+model/mapping digests), never object identities — mutating a model and
+regenerating produces a different key, so stale hits are impossible by
+construction.  Explicit invalidation still exists for long-lived processes and
+for tests that must measure cold-path behaviour:
+
+* ``clear_all_caches()`` — drop every registered cache.
+* ``named_cache(name).clear()`` — drop one layer.
+* ``cache_stats()`` — per-cache ``{hits, misses, size}`` for diagnostics.
+
+Caches are bounded (FIFO eviction) so pathological key churn cannot grow
+memory without limit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable
+
+__all__ = ["KeyedCache", "named_cache", "clear_all_caches", "cache_stats"]
+
+
+class KeyedCache:
+    """A small keyed memo table with hit/miss stats and FIFO eviction."""
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+
+    def __init__(self, name: str, maxsize: int = 1024):
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        data = self._data
+        if key in data:
+            self.hits += 1
+            return data[key]
+        self.misses += 1
+        value = compute()
+        if len(data) >= self.maxsize:
+            data.pop(next(iter(data)))
+        data[key] = value
+        return value
+
+    def lookup(self, key: Hashable, default: Any = None) -> Any:
+        """Plain probe (counts as hit/miss) for call sites where the compute
+        step doesn't fit in a closure."""
+        if key in self._data:
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store a value computed outside :meth:`get`."""
+        data = self._data
+        if key not in data and len(data) >= self.maxsize:
+            data.pop(next(iter(data)))
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KeyedCache({self.name!r}, size={len(self._data)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_REGISTRY: Dict[str, KeyedCache] = {}
+
+
+def named_cache(name: str, maxsize: int = 1024) -> KeyedCache:
+    """Return the process-wide cache registered under ``name`` (creating it)."""
+    cache = _REGISTRY.get(name)
+    if cache is None:
+        cache = _REGISTRY[name] = KeyedCache(name, maxsize=maxsize)
+    return cache
+
+
+def clear_all_caches() -> int:
+    """Drop every registered cache; returns the number of entries evicted."""
+    evicted = 0
+    for cache in _REGISTRY.values():
+        evicted += len(cache)
+        cache.clear()
+    return evicted
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-cache ``{hits, misses, size}``, keyed by cache name."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}

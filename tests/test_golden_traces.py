@@ -1,0 +1,67 @@
+"""Golden-trace determinism: the fast path must not move a single timestamp.
+
+Each scenario runs twice from scratch (fresh Environment, fresh glue) and must
+produce byte-identical probe traces; the digest must also match the canonical
+one committed in ``tests/golden/golden_traces.json``, so any change to
+virtual-time behaviour — intentional or not — fails loudly here.
+"""
+
+import os
+
+import pytest
+
+from .golden_traces import (
+    SCENARIOS,
+    canonical_times,
+    capture,
+    digest_of,
+    load_golden,
+    regenerate,
+    run_scenario,
+)
+
+if os.environ.get("REPRO_REGEN_GOLDEN"):
+    regenerate()
+
+GOLDEN = load_golden()
+
+
+@pytest.fixture(scope="module")
+def first_runs():
+    """One capture per scenario, shared by the repeatability and golden tests."""
+    return {name: capture(name) for name in SCENARIOS}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_rerun_is_byte_identical(name, first_runs):
+    """Same seed, fresh world: the probe trace must not drift run-to-run."""
+    again = run_scenario(name)
+    assert digest_of(again) == first_runs[name]["trace_sha256"]
+    assert canonical_times(again) == first_runs[name]["times"]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_matches_committed_golden(name, first_runs):
+    """The run must match the canonical digest committed in the repo."""
+    assert name in GOLDEN, (
+        f"scenario {name} has no committed golden trace; run "
+        f"REPRO_REGEN_GOLDEN=1 pytest tests/test_golden_traces.py"
+    )
+    got = first_runs[name]
+    want = GOLDEN[name]
+    assert got["trace_events"] == want["trace_events"]
+    assert got["times"] == want["times"], (
+        f"virtual times of {name} changed — the fast path altered simulated "
+        f"behaviour"
+    )
+    assert got["trace_sha256"] == want["trace_sha256"], (
+        f"probe trace of {name} changed — the fast path altered event "
+        f"content or ordering"
+    )
+
+
+def test_armed_and_clean_scenarios_present():
+    """The suite must pin both fault-armed and unarmed behaviour."""
+    armed = [n for n, s in SCENARIOS.items() if s[4](s[2]) is not None]
+    clean = [n for n, s in SCENARIOS.items() if s[4](s[2]) is None]
+    assert armed and clean

@@ -1,0 +1,160 @@
+"""Tests for the event-queue fast path (the deque/heap split).
+
+The :class:`Environment` keeps three structures: the time-ordered heap for
+future events, and two same-instant deques (priority-0 callback hand-offs
+and priority-1 triggered events).  These tests pin the ordering contract —
+identical to a single totally-ordered heap keyed by ``(time, priority,
+seq)`` — plus the ``events_processed`` counter the bench harness reads.
+"""
+
+import pytest
+
+from repro.machine.simulator import Environment, SimulationError
+
+
+def test_events_processed_counts_every_step():
+    env = Environment()
+    assert env.events_processed == 0
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(0.0)
+
+    env.process(proc(env))
+    env.run()
+    # process-start event + two timeouts + at least the resume callbacks
+    assert env.events_processed >= 3
+    before = env.events_processed
+    env.timeout(0.5)
+    env.run()
+    assert env.events_processed == before + 1
+
+
+def test_zero_delay_timeouts_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    # interleave zero-delay (deque) and same-instant-later (heap) waiters
+    env.process(waiter(env, "a", 0.0))
+    env.process(waiter(env, "b", 0.0))
+    env.process(waiter(env, "c", 0.0))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_instant_heap_and_deque_interleave_by_seq():
+    """A future event that lands at t and a zero-delay event created at t
+    must fire in seq order, even though they live in different structures."""
+    env = Environment()
+    order = []
+
+    def driver(env):
+        # schedule X to fire at t=1.0 via the heap
+        def x(env):
+            yield env.timeout(1.0)
+            order.append("x")
+
+        env.process(x(env))
+        yield env.timeout(1.0)
+        # now at t=1.0; a zero-delay event created *after* x was scheduled
+        def y(env):
+            yield env.timeout(0.0)
+            order.append("y")
+
+        env.process(y(env))
+        yield env.timeout(0.0)
+        order.append("driver")
+
+    env.process(driver(env))
+    env.run()
+    # x was scheduled first (lower seq) -> fires before driver's post-wake
+    # continuation and before y
+    assert order.index("x") < order.index("y")
+
+
+def test_clock_only_advances_never_rewinds():
+    env = Environment()
+    seen = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        seen.append(env.now)
+        yield env.timeout(0.0)
+        seen.append(env.now)
+
+    for d in (0.5, 0.0, 1.5, 0.5):
+        env.process(proc(env, d))
+    env.run()
+    assert seen == sorted(seen)
+    assert env.now == 1.5
+
+
+def test_run_raises_when_all_three_structures_empty():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_run_until_event_detects_deadlock():
+    env = Environment()
+    never = env.event()  # never succeeds
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_run_until_event_returns_value_through_fast_path():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_horizon_stops_between_deque_drain_and_future_heap():
+    env = Environment()
+    fired = []
+
+    def proc(env, tag, delay):
+        yield env.timeout(delay)
+        fired.append(tag)
+
+    env.process(proc(env, "now", 0.0))
+    env.process(proc(env, "later", 10.0))
+    env.run(until=5.0)
+    assert fired == ["now"]
+    assert env.now == 5.0
+    env.run()
+    assert fired == ["now", "later"]
+
+
+def test_priority0_callbacks_run_before_triggered_events():
+    """succeed() hand-off callbacks (imm0) must drain before the next
+    triggered event (imm1), matching the old priority-0 < priority-1 heap
+    ordering."""
+    env = Environment()
+    order = []
+
+    def proc(env):
+        ev = env.event()
+        ev.add_callback(lambda e: order.append("cb"))
+        ev.succeed()
+        t = env.timeout(0.0)
+        t.add_callback(lambda e: order.append("timeout"))
+        yield env.timeout(0.0)
+
+    env.process(proc(env))
+    env.run()
+    assert order == ["cb", "timeout"]
+
+
+def test_environment_has_slots():
+    env = Environment()
+    with pytest.raises(AttributeError):
+        env.unexpected_attribute = 1
