@@ -10,7 +10,7 @@ analyze      run the SAGE Verifier (lint + schedules + buffers), no execution
 run          load a design document and execute it on a simulated platform
 bench        wall-clock benchmark of the pipeline, writes BENCH_simcore.json
 table1 / crossvendor / ablations / atot-study / period-latency
-fault-tolerance / reconfiguration
+fault-tolerance / reconfiguration / elasticity
              the paper-artifact experiments (see repro.experiments)
 """
 
@@ -184,6 +184,7 @@ _EXPERIMENTS = {
     "code-size": "code_size",
     "fault-tolerance": "fault_tolerance",
     "reconfiguration": "reconfiguration",
+    "elasticity": "elasticity",
 }
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "single_node_mapping",
     "block_mapping",
     "shrink_mapping",
+    "grow_mapping",
 ]
 
 ThreadKey = Tuple[int, int]  # (function_id, thread_index)
@@ -129,6 +130,30 @@ def shrink_mapping(mapping: Mapping, survivors: Iterable[int]) -> Mapping:
         else:
             out.assign(fid, t, pool[orphan % len(pool)])
             orphan += 1
+    return out
+
+
+def grow_mapping(current: Mapping, original: Mapping,
+                 replacements: Dict[int, int]) -> Mapping:
+    """Restore a shrunken mapping onto replacement capacity.
+
+    The inverse of :func:`shrink_mapping`: ``replacements`` maps each lost
+    processor to the processor standing in for it (the same index for
+    replacement hardware slotted into the dead node's position, or a new
+    index for added capacity).  Every thread returns to its placement in
+    ``original`` — with lost processors substituted — so survivors keep
+    their threads (rank stability) and each replacement inherits exactly
+    one dead processor's thread set (deterministic assignment).  Threads
+    whose original processor has no replacement yet keep their ``current``
+    degraded-mode placement, so partial re-grows compose: applying this
+    per replacement wave converges back to the original striping.
+    """
+    out = Mapping()
+    for (fid, t), proc in original.items():
+        if proc in replacements:
+            out.assign(fid, t, replacements[proc])       # restored home
+        else:
+            out.assign(fid, t, current.processor_of(fid, t))
     return out
 
 

@@ -30,11 +30,36 @@ from .striping import (
     thread_region,
 )
 
-__all__ = ["RuntimeBuffer", "BufferError"]
+__all__ = ["RuntimeBuffer", "BufferError", "moved_region_transfers"]
 
 
 class BufferError(RuntimeError):
     """Raised for misuse of the buffer manager."""
+
+
+def moved_region_transfers(buf: "RuntimeBuffer", old_proc_of, new_proc_of):
+    """Region moves implied by a re-placement of ``buf``'s endpoint threads.
+
+    ``old_proc_of(function_id, thread)`` / ``new_proc_of(function_id,
+    thread)`` give the placements before and after.  Returns
+    ``(old_proc, new_proc, nbytes, label)`` tuples, one per endpoint region
+    whose owning thread changed processor — the checkpointed state that must
+    travel when the mapping changes.  Shrinking recovery reads the bytes
+    from each old owner's ring mirror (the owner is dead); live migration
+    reads them from the old owner directly (the owner is a live survivor).
+    """
+    out: List[Tuple[int, int, int, str]] = []
+    for t in range(buf.src_threads):
+        old = old_proc_of(buf.src_function, t)
+        new = new_proc_of(buf.src_function, t)
+        if old != new:
+            out.append((old, new, buf.src_region_bytes(t), f"{buf.name}.src[{t}]"))
+    for t in range(buf.dst_threads):
+        old = old_proc_of(buf.dst_function, t)
+        new = new_proc_of(buf.dst_function, t)
+        if old != new:
+            out.append((old, new, buf.dst_region_bytes(t), f"{buf.name}.dst[{t}]"))
+    return out
 
 
 class RuntimeBuffer:

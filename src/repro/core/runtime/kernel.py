@@ -21,14 +21,16 @@ from ...machine.cluster import SimCluster
 from ...machine.faults import FaultError, LinkFailure, NodeFailure, TransientError
 from ...machine.simulator import Environment, Event, Interrupt, Process
 from ...mpi.detector import FailureDetector, HeartbeatConfig
+from ...perf.cache import invalidate_mapping_caches
+from ...perf.registry import REGISTRY
 from ..codegen.generator import GlueModule
-from ..model.mapping import Mapping, shrink_mapping
-from .buffers import RuntimeBuffer
+from ..model.mapping import Mapping, grow_mapping, shrink_mapping
+from .buffers import RuntimeBuffer, moved_region_transfers
 from .config import DEFAULT_CONFIG, RuntimeConfig
 from .kernels import KernelBinding, KernelError, ThreadContext, default_bindings
 from .policy import FAIL_FAST, FaultPolicy, TransportError
 from .probes import ProbeEvent, Trace
-from .striping import plan_remote_traffic
+from .striping import plan_remote_traffic, plan_remote_traffic_delta
 
 __all__ = ["SageRuntime", "RunResult", "RuntimeError_"]
 
@@ -139,6 +141,11 @@ class SageRuntime:
         self._detect_event: Optional[Event] = None
         self._suspect_probed: set = set()
         self._dead_probed: set = set()
+        # Elastic membership state: processors permanently lost to shrinks
+        # (in loss order) and replacement capacity announced by NodeJoin
+        # events, absorbed at the next iteration boundary by grow_restripe.
+        self._lost_processors: List[int] = []
+        self._pending_joins: List[int] = []
         if cluster.faults is not None:
             # Mirror every injected fault into the trace so recovery is
             # visible next to the enter/exit/send spans on the timeline.
@@ -328,6 +335,11 @@ class SageRuntime:
         restarts_left = policy.max_restarts
         for k in range(iterations):
             while True:
+                # Iteration boundary: the quiesce point where announced
+                # replacement capacity is admitted and migrated onto
+                # (grow_restripe).  Also reached on replay, so a join that
+                # lands mid-iteration is absorbed before the retry.
+                self._maybe_grow(k)
                 snapshot = [buf.snapshot() for buf in self.buffers]
                 self._probe_runtime("checkpoint", detail=f"iteration {k}",
                                     iteration=k)
@@ -510,21 +522,23 @@ class SageRuntime:
                 old_proc[(fid, t)] = p
                 current.assign(fid, t, p)
         new_map = shrink_mapping(current, survivors)
-        moved = 0
+        moved_keys = []
         for (fid, t), p in new_map.items():
             if p != old_proc[(fid, t)]:
                 self._proc_override[(fid, t)] = p
-                moved += 1
+                moved_keys.append((fid, t))
         self._active_processors = survivor_set
+        self._lost_processors = sorted(set(self._lost_processors) | set(dead))
         self._probe_runtime(
             "shrink",
             detail=(
                 f"dropped node(s) {sorted(dead)}; {len(survivors)} "
-                f"survivor(s), {moved} thread(s) remapped"
+                f"survivor(s), {len(moved_keys)} thread(s) remapped"
             ),
             iteration=k,
         )
-        self._compute_remote_tables()
+        self._update_remote_tables(old_proc, new_map, moved_keys)
+        invalidate_mapping_caches()
         if self.config.enforce_memory:
             self._check_memory_footprint()
 
@@ -545,22 +559,10 @@ class SageRuntime:
 
         transfers: List[Tuple[int, int, int, str]] = []
         for buf in self.buffers:
-            for t in range(buf.src_threads):
-                key = (buf.src_function, t)
-                new = new_map.processor_of(*key)
-                if new != old_proc[key]:
-                    transfers.append(
-                        (mirror_of(old_proc[key]), new,
-                         buf.src_region_bytes(t), f"{buf.name}.src[{t}]")
-                    )
-            for t in range(buf.dst_threads):
-                key = (buf.dst_function, t)
-                new = new_map.processor_of(*key)
-                if new != old_proc[key]:
-                    transfers.append(
-                        (mirror_of(old_proc[key]), new,
-                         buf.dst_region_bytes(t), f"{buf.name}.dst[{t}]")
-                    )
+            for old, new, nbytes, label in moved_region_transfers(
+                buf, lambda f, t: old_proc[(f, t)], new_map.processor_of
+            ):
+                transfers.append((mirror_of(old), new, nbytes, label))
         procs = [
             self.env.process(
                 self._restripe_transfer(src, dst, nbytes, label, k),
@@ -616,6 +618,189 @@ class SageRuntime:
             f"undelivered: {failure}; gave up after {attempts} attempt(s) "
             f"at t={self.env.now:.6f}"
         )
+
+    # -- elastic membership (grow_restripe) --------------------------------------
+    def _maybe_grow(self, k: int) -> None:
+        """Absorb announced replacement capacity at an iteration boundary.
+
+        Only the ``grow_restripe`` policy re-grows, and only once capacity
+        has actually been lost — a join announced while the striping is
+        still at full width stays pending until it can replace something.
+        Each joiner runs the detector's admission handshake (``join``
+        probe); the admitted set is then migrated onto in one quiesced
+        :meth:`_grow_migrate` step so a multi-node re-grow pays a single
+        re-striping pause.
+        """
+        if (not self.fault_policy.regrows or not self._pending_joins
+                or self.detector is None or not self._lost_processors):
+            return
+        quiesce_at = self.env.now
+        joiners = sorted(set(self._pending_joins))
+        self._pending_joins = []
+        cfg = self.detector.config
+        admitted: List[int] = []
+        for j in joiners:
+            ev = self.detector.request_join(j)
+            # The handshake retries every detection window; cap the wait so
+            # an unreachable joiner cannot stall the application (it simply
+            # isn't absorbed and the run continues degraded).
+            deadline = self.env.timeout(cfg.window * 9)
+            self.env.run(until=self.env.any_of([ev, deadline]))
+            if self.detector.admitted(j) is None:
+                continue
+            admitted.append(j)
+            self._suspect_probed.discard(j)
+            self._dead_probed.discard(j)
+            latency = self.detector.join_latency(j)
+            self._probe_runtime(
+                "join",
+                detail=f"node {j} admitted in {latency:.6f}s",
+                processor=j,
+                iteration=k,
+            )
+        if admitted:
+            self._grow_migrate(admitted, k, quiesce_at)
+
+    def _grow_migrate(self, joiners: List[int], k: int,
+                      quiesce_at: float) -> None:
+        """Live migration onto re-admitted capacity (zero-restart re-grow).
+
+        Restores the original placement for every processor a joiner
+        replaces (same-id joiners restore their own slot; fresh ids stand in
+        for lost processors in sorted order), updates the staging tables
+        *incrementally* — only moved threads are re-planned — and ships the
+        moved regions' checkpointed state from their live current owners
+        over the fabric.  The wall-clock cost of the whole boundary stall is
+        recorded as ``runtime.migration_pause_s``.
+        """
+        lost = sorted(self._lost_processors)
+        replacements: Dict[int, int] = {}
+        fresh: List[int] = []
+        for j in joiners:
+            if j in lost:
+                replacements[j] = j       # same slot restored
+            else:
+                fresh.append(j)
+        unreplaced = [p for p in lost if p not in replacements]
+        for p, j in zip(unreplaced, sorted(fresh)):
+            replacements[p] = j
+        if not replacements:
+            return
+
+        old_proc: Dict[Tuple[int, int], int] = {}
+        current = Mapping()
+        original = Mapping()
+        for fid, entry in sorted(self.functions.items()):
+            for t in range(entry["threads"]):
+                p = self.processor_of(fid, t)
+                old_proc[(fid, t)] = p
+                current.assign(fid, t, p)
+                original.assign(fid, t, self.glue.processor_of(fid, t))
+        new_map = grow_mapping(current, original, replacements)
+        moved_keys: List[Tuple[int, int]] = []
+        for key, p in new_map.items():
+            if p != old_proc[key]:
+                moved_keys.append(key)
+            if p == self.glue.processor_of(*key):
+                self._proc_override.pop(key, None)
+            else:
+                self._proc_override[key] = p
+        self._active_processors |= set(replacements.values())
+        self._lost_processors = [p for p in lost if p not in replacements]
+        self._probe_runtime(
+            "grow",
+            detail=(
+                f"absorbed node(s) {sorted(set(replacements.values()))}; "
+                f"{len(self._active_processors)} active processor(s), "
+                f"{len(moved_keys)} thread(s) restored"
+            ),
+            iteration=k,
+        )
+        self._update_remote_tables(old_proc, new_map, moved_keys)
+        invalidate_mapping_caches()
+        if self.config.enforce_memory:
+            self._check_memory_footprint()
+
+        # Moved regions travel from their live current owner (a survivor) to
+        # the restored owner — unlike shrinking recovery, no ring mirror is
+        # needed because the old owner is alive.
+        transfers: List[Tuple[int, int, int, str]] = []
+        for buf in self.buffers:
+            transfers.extend(moved_region_transfers(
+                buf, lambda f, t: old_proc[(f, t)], new_map.processor_of
+            ))
+        procs = [
+            self.env.process(
+                self._restripe_transfer(src, dst, nbytes, label, k),
+                name=f"migrate:{label}",
+            )
+            for src, dst, nbytes, label in transfers
+            if src != dst and nbytes > 0
+        ]
+        if procs:
+            self.env.run(until=self.env.all_of(procs))
+        total = sum(nbytes for _, _, nbytes, _ in transfers)
+        pause = self.env.now - quiesce_at
+        REGISTRY.record("runtime.migration_pause_s", pause)
+        self._probe_runtime(
+            "migrate",
+            detail=(
+                f"{len(transfers)} region(s) migrated back in "
+                f"{pause:.6f}s pause"
+            ),
+            iteration=k,
+            nbytes=total,
+        )
+
+    def _update_remote_tables(
+        self,
+        old_proc: Dict[Tuple[int, int], int],
+        new_map: Mapping,
+        moved_keys: List[Tuple[int, int]],
+    ) -> None:
+        """Incrementally patch the staging tables after a re-placement.
+
+        Only buffers with at least one moved endpoint thread are touched,
+        and within each, :func:`plan_remote_traffic_delta` revisits only the
+        messages a moved thread sends or receives.  The result is
+        byte-identical to :meth:`_compute_remote_tables` at the new
+        placement — the golden-trace and bitwise tests lean on that.
+        """
+        moved = set(moved_keys)
+        for buf in self.buffers:
+            moved_src = {t for f, t in moved if f == buf.src_function}
+            moved_dst = {t for f, t in moved if f == buf.dst_function}
+            if not moved_src and not moved_dst:
+                continue
+            bid = buf.buffer_id
+            send = {
+                t: self._buf_send_remote[(bid, t)]
+                for t in range(buf.src_threads)
+                if (bid, t) in self._buf_send_remote
+            }
+            recv = {
+                t: self._buf_recv_remote[(bid, t)]
+                for t in range(buf.dst_threads)
+                if (bid, t) in self._buf_recv_remote
+            }
+            send, recv = plan_remote_traffic_delta(
+                buf.plan, send, recv,
+                lambda t, f=buf.src_function: old_proc[(f, t)],
+                lambda t, f=buf.dst_function: old_proc[(f, t)],
+                lambda t, f=buf.src_function: new_map.processor_of(f, t),
+                lambda t, f=buf.dst_function: new_map.processor_of(f, t),
+                moved_src, moved_dst,
+            )
+            for t in range(buf.src_threads):
+                if t in send:
+                    self._buf_send_remote[(bid, t)] = send[t]
+                else:
+                    self._buf_send_remote.pop((bid, t), None)
+            for t in range(buf.dst_threads):
+                if t in recv:
+                    self._buf_recv_remote[(bid, t)] = recv[t]
+                else:
+                    self._buf_recv_remote.pop((bid, t), None)
 
     # -- per-thread process ---------------------------------------------------------
     def _thread_proc(self, fid: int, thread: int, iteration: int):
@@ -930,6 +1115,10 @@ class SageRuntime:
 
     def _on_fault_injected(self, time: float, kind: str, detail: str,
                            node: int) -> None:
+        if kind == "node_join":
+            # Replacement capacity powered on; absorbed at the next iteration
+            # boundary by _maybe_grow (grow_restripe policy only).
+            self._pending_joins.append(node)
         self.trace.record(
             ProbeEvent(
                 time=time,

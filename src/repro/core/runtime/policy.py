@@ -25,6 +25,15 @@ run-time therefore executes under one of three :class:`FaultPolicy` modes:
   the latest buffer checkpoints to the new owners over the fabric
   (``restripe`` probe), and replays the interrupted iteration — the
   application completes at degraded throughput instead of aborting.
+* ``grow_restripe`` — everything ``shrink_restripe`` does, plus elastic
+  re-growth: when replacement capacity powers on (a
+  :class:`~repro.machine.faults.NodeJoin` event), the run-time admits it
+  through the detector's join handshake at the next iteration boundary,
+  migrates the displaced threads' checkpointed buffer state back over the
+  fabric (``join`` / ``grow`` / ``migrate`` probes), incrementally
+  re-stripes — only moved threads are re-planned — and resumes at full
+  striping width, closing the crash → shrink → degraded → re-grow →
+  restored loop (see ``docs/ELASTICITY.md``).
 """
 
 from __future__ import annotations
@@ -33,7 +42,10 @@ from dataclasses import dataclass
 
 __all__ = ["FaultPolicy", "FAIL_FAST", "TransportError", "POLICY_MODES"]
 
-POLICY_MODES = ("fail_fast", "retry", "checkpoint_restart", "shrink_restripe")
+POLICY_MODES = (
+    "fail_fast", "retry", "checkpoint_restart", "shrink_restripe",
+    "grow_restripe",
+)
 
 
 class TransportError(RuntimeError):
@@ -120,19 +132,39 @@ class FaultPolicy:
                    heartbeat_period=heartbeat_period, miss_grace=miss_grace,
                    suspicion_threshold=suspicion_threshold)
 
+    @classmethod
+    def grow_restripe(cls, max_restarts: int = 3, max_retries: int = 2,
+                      backoff: float = 1e-4, backoff_factor: float = 2.0,
+                      heartbeat_period: float = 1e-4, miss_grace: float = 2.5,
+                      suspicion_threshold: int = 3) -> "FaultPolicy":
+        """Shrinking recovery plus automatic re-absorption of replacements."""
+        return cls(mode="grow_restripe", max_restarts=max_restarts,
+                   max_retries=max_retries, backoff=backoff,
+                   backoff_factor=backoff_factor,
+                   heartbeat_period=heartbeat_period, miss_grace=miss_grace,
+                   suspicion_threshold=suspicion_threshold)
+
     @property
     def retries_transfers(self) -> bool:
-        return (self.mode in ("retry", "checkpoint_restart", "shrink_restripe")
+        return (self.mode in ("retry", "checkpoint_restart",
+                              "shrink_restripe", "grow_restripe")
                 and self.max_retries > 0)
 
     @property
     def checkpoints(self) -> bool:
-        return self.mode in ("checkpoint_restart", "shrink_restripe")
+        return self.mode in (
+            "checkpoint_restart", "shrink_restripe", "grow_restripe"
+        )
 
     @property
     def shrinks(self) -> bool:
-        """True when permanent node loss is survivable (``shrink_restripe``)."""
-        return self.mode == "shrink_restripe"
+        """True when permanent node loss is survivable (re-striping modes)."""
+        return self.mode in ("shrink_restripe", "grow_restripe")
+
+    @property
+    def regrows(self) -> bool:
+        """True when replacement capacity is re-absorbed automatically."""
+        return self.mode == "grow_restripe"
 
 
 FAIL_FAST = FaultPolicy()

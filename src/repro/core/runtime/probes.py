@@ -28,6 +28,11 @@ PROBE_KINDS = (
     # from the working set, and the re-striping that redistributes buffer
     # checkpoints onto the survivors.
     "suspect", "declare_dead", "shrink", "restripe",
+    # Elastic membership (grow_restripe): a replacement/new node admitted by
+    # the join handshake, the mapping restored onto the grown member set,
+    # and the live migration that ships moved threads' checkpointed buffer
+    # state to their restored owners.
+    "join", "grow", "migrate",
 )
 
 #: O(1) membership for the per-event validation check (PROBE_KINDS stays a

@@ -14,7 +14,9 @@ failure modes it can observe):
   revoke/agree/shrink``);
 * :mod:`repro.core.runtime` — the :class:`FaultPolicy` governing how
   :class:`~repro.core.runtime.SageRuntime` responds: ``fail_fast``,
-  ``retry``, ``checkpoint_restart``, or ``shrink_restripe``.
+  ``retry``, ``checkpoint_restart``, ``shrink_restripe``, or
+  ``grow_restripe`` (shrink + re-absorb replacement capacity; see
+  ``docs/ELASTICITY.md``).
 
 The full error taxonomy is documented in ``docs/FAULTS.md``; the detector
 and shrinking recovery in ``docs/DETECTION.md``.
@@ -44,6 +46,7 @@ from .machine.faults import (
     NodeCrash,
     NodeFailure,
     NodeHang,
+    NodeJoin,
     TransientError,
 )
 from .machine.interconnect import TransferOutcome
@@ -64,6 +67,7 @@ __all__ = [
     "FaultInjector",
     "NodeCrash",
     "NodeHang",
+    "NodeJoin",
     "LinkDrop",
     "LinkDegrade",
     "FaultError",

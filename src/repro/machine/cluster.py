@@ -85,6 +85,70 @@ class SimCluster:
     def __len__(self) -> int:
         return len(self.nodes)
 
+    # -- elastic membership ---------------------------------------------
+    def add_node(
+        self,
+        index: Optional[int] = None,
+        spec: Optional[CpuSpec] = None,
+        board: Optional[int] = None,
+    ) -> SimNode:
+        """Bring a node online: new capacity, or replacement hardware.
+
+        With ``index`` beyond the current size (or omitted), a brand-new node
+        is appended; ``board`` defaults to a fresh board of its own, the
+        conservative choice for a card slotted into a spare chassis slot.
+        With an existing ``index``, the slot is treated as *replaced*: the
+        node object is reset to power-on state (idle CPU, zero allocations)
+        and its NIC ports are recreated, so stale holders from the previous
+        occupant cannot leak into the new one.  The node index is the node's
+        identity at every layer above, so replacement hardware at the same
+        index inherits the board slot (same locality) but nothing else.
+        """
+        if index is None:
+            index = len(self.nodes)
+        if index < 0:
+            raise ValueError("node index must be non-negative")
+        if index < len(self.nodes):
+            node = self.nodes[index]
+            if spec is not None and spec != node.spec:
+                node.spec = spec
+            node.reset()
+            self.fabric.detach_node(index)
+            board = self.fabric.boards.get(index, 0) if board is None else board
+            self.fabric.attach_node(index, board)
+            node.faults = self.faults
+            return node
+        if index != len(self.nodes):
+            raise ValueError(
+                f"node index {index} would leave a gap in a "
+                f"{len(self.nodes)}-node cluster"
+            )
+        if spec is None:
+            spec = self.nodes[0].spec
+        if board is None:
+            board = max(self.fabric.boards.values(), default=-1) + 1
+        node = SimNode(index=index, spec=spec, env=self.env, board=board)
+        node.faults = self.faults
+        self.nodes.append(node)
+        self.fabric.attach_node(index, board)
+        return node
+
+    def remove_node(self, index: int) -> int:
+        """Take a node's hardware out of the machine (e.g. a pulled board).
+
+        The index stays valid — node identity is positional — but the slot's
+        CPU resource and NIC ports are forcibly reset so that stranded holders
+        from work interrupted mid-transfer do not survive into replacement
+        hardware added later at the same index.  Returns the number of
+        stranded resource slots/queued requests that were dropped.
+        """
+        node = self.node(index)
+        dropped = node.reset()
+        dropped += self.fabric.detach_node(index)
+        # Board registration survives: a re-added node at this index slots
+        # back into the same chassis position unless add_node overrides it.
+        return dropped
+
     def node(self, index: int) -> SimNode:
         try:
             return self.nodes[index]

@@ -41,6 +41,7 @@ __all__ = [
     "TransientError",
     "NodeCrash",
     "NodeHang",
+    "NodeJoin",
     "LinkDrop",
     "LinkDegrade",
     "FaultPlan",
@@ -124,6 +125,26 @@ class NodeHang:
 
 
 @dataclass(frozen=True)
+class NodeJoin:
+    """Node ``node`` becomes available at ``at``.
+
+    Two cases, distinguished by the state of the index when the event fires:
+    an index holding a (permanently) crashed node models *replacement
+    hardware* slotted into the same chassis position — the old occupant's
+    fault state is discharged and the node resets to power-on state; an index
+    beyond the current cluster size models brand-new capacity.  Either way the
+    hardware merely becomes reachable: admission into the running application
+    is the membership protocol's job (see ``FailureDetector.request_join``).
+    """
+
+    node: int
+    at: float
+
+    def __post_init__(self):
+        _check_time(self.at)
+
+
+@dataclass(frozen=True)
 class LinkDrop:
     """The ``a``–``b`` link goes down at ``at`` (forever if duration None)."""
 
@@ -180,6 +201,11 @@ class FaultPlan:
 
     def hang_node(self, node: int, at: float, duration: float) -> "FaultPlan":
         self.events.append(NodeHang(node, at, duration))
+        return self
+
+    def join_node(self, node: int, at: float) -> "FaultPlan":
+        """Replacement/new hardware at ``node`` powers on at time ``at``."""
+        self.events.append(NodeJoin(node, at))
         return self
 
     def drop_link(self, a: int, b: int, at: float,
@@ -242,6 +268,8 @@ class FaultInjector:
         self.log: List[Tuple[float, str, str]] = []
         self._listeners: List[Callable[[float, str, str, int], None]] = []
         self.cluster = None
+        #: Node indices whose NodeJoin events have fired, in event order.
+        self.joined: List[int] = []
 
     # -- wiring ----------------------------------------------------------
     def install(self, cluster) -> None:
@@ -257,6 +285,8 @@ class FaultInjector:
                 actions.append((ev.at, order, lambda e=ev: self._apply_crash(e)))
             elif isinstance(ev, NodeHang):
                 actions.append((ev.at, order, lambda e=ev: self._apply_hang(e)))
+            elif isinstance(ev, NodeJoin):
+                actions.append((ev.at, order, lambda e=ev: self._apply_join(e)))
             elif isinstance(ev, LinkDrop):
                 actions.append((ev.at, order, lambda e=ev: self._apply_drop(e)))
                 if ev.duration is not None:
@@ -301,6 +331,24 @@ class FaultInjector:
             f"node {ev.node}{' (permanent)' if ev.permanent else ''}",
             ev.node,
         )
+
+    def _apply_join(self, ev: NodeJoin) -> None:
+        detail = f"node {ev.node}"
+        replacement = ev.node in self._dead
+        if replacement:
+            # Replacement hardware at a dead index discharges the crash.
+            del self._dead[ev.node]
+            detail += " (replacement)"
+        if self.cluster is not None:
+            if ev.node >= len(self.cluster):
+                self.cluster.add_node(index=ev.node)
+                detail += " (new capacity)"
+            elif replacement:
+                # Reset the slot; a join for a healthy index is a no-op
+                # beyond the announcement (never clobber live hardware).
+                self.cluster.add_node(index=ev.node)
+        self.joined.append(ev.node)
+        self._record("node_join", detail, ev.node)
 
     def _apply_hang(self, ev: NodeHang) -> None:
         node = self.cluster.node(ev.node)

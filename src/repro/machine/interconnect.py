@@ -111,6 +111,23 @@ class Fabric:
     def same_board(self, src: int, dst: int) -> bool:
         return self.boards.get(src) == self.boards.get(dst)
 
+    def attach_node(self, node: int, board: int) -> None:
+        """Register (or re-register) a node's locality; ports stay lazy."""
+        self.boards[node] = board
+
+    def detach_node(self, node: int) -> int:
+        """Drop a removed node's NIC ports, forcing fresh (idle) Resources on
+        re-attach.  In-flight transfers through the old ports keep their held
+        slots in the orphaned objects, so replacement hardware at the same
+        index starts with clean port capacity.  Returns the number of stranded
+        slots/queued requests discarded with the old ports."""
+        stranded = 0
+        for table in (self._inject, self._eject):
+            port = table.pop(node, None)
+            if port is not None:
+                stranded += port.count + port.queue_length
+        return stranded
+
     def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
         """Uncontended transfer time between two nodes."""
         if src == dst:

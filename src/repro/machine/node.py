@@ -94,6 +94,19 @@ class SimNode:
         if self.faults is not None:
             self.faults.check_node(self.index)
 
+    def reset(self) -> int:
+        """Return the node to power-on state: idle CPU, no allocations.
+
+        Used when replacement hardware is slotted in at this node's index: a
+        crash can strand CPU slots held by interrupted work and buffer
+        accounting from the dead program, neither of which the new board
+        inherits.  Returns the number of stranded CPU slots/queued requests
+        that were dropped.
+        """
+        dropped = self.cpu.reset()
+        self._allocated = 0
+        return dropped
+
     @property
     def allocated_bytes(self) -> int:
         return self._allocated

@@ -563,6 +563,24 @@ class Resource:
         except ValueError:
             pass
 
+    def reset(self) -> int:
+        """Forcibly return the resource to its idle state.
+
+        Used when the hardware behind the resource is removed (a node pulled
+        mid-transfer): holders never release, and queued requests belong to
+        processes that are being torn down.  Pending waiter events fail with
+        :class:`SimulationError` so any still-live requester surfaces the
+        removal instead of deadlocking.  Returns the number of slots and
+        queued requests that were dropped, for diagnostics.
+        """
+        dropped = self._in_use + len(self._waiters)
+        self._in_use = 0
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.fail(SimulationError("resource reset: node removed"))
+        return dropped
+
     def use(self, duration: float):
         """Generator helper: hold the resource for ``duration``.
 

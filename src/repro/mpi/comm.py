@@ -26,7 +26,7 @@ semantics, like the small-message eager protocol of the vendor MPIs in §3.1);
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..machine.cluster import SimCluster
 from ..machine.faults import FaultError
@@ -635,6 +635,53 @@ class Communicator:
         sub.retry_policy = self.retry_policy
         return sub
 
+    def grow(self, joiners: Sequence[int],
+             timeout: Optional[float] = None) -> Generator:
+        """Absorb new ranks into a larger communicator (the ULFM dual of
+        :meth:`shrink`, modelling the connect/accept side of
+        ``MPI_Comm_spawn``).
+
+        Collective over the current members: agrees on the live survivor
+        set, then returns a new communicator whose members are the survivors
+        in their existing relative order — *rank stability*: no survivor's
+        rank shifts because capacity arrived — followed by the ``joiners``
+        in sorted global order (deterministic rank assignment; every member
+        derives the same numbering without further communication).  Joiners
+        are not members of this communicator and therefore cannot take part
+        in the collective; each obtains its endpoint into the grown context
+        from :meth:`MpiWorld.endpoint` afterwards.  ``default_timeout`` /
+        ``retry_policy`` are inherited.
+        """
+        seq = self._agree_seq  # same on every member under collective discipline
+        _, failed = yield from self.agree(timeout=timeout)
+        members = self._group()
+        survivors = [g for g in members if g not in failed]
+        if self.global_rank not in survivors:
+            raise ProcessFailedError(
+                f"rank {self.rank}: this rank was agreed failed during grow",
+                ranks=failed,
+            )
+        self.world.expand()  # no-op unless the cluster gained nodes
+        extra = sorted(set(joiners) - set(survivors))
+        for j in extra:
+            if not (0 <= j < self.world.size):
+                raise RankError(
+                    f"joiner rank {j} out of range [0, {self.world.size}) — "
+                    f"add the node to the cluster before growing"
+                )
+        new_members = survivors + extra
+        context = self.world._intern_context(
+            ("grow", self.context, seq, tuple(new_members))
+        )
+        self.world._register_context(context, new_members)
+        sub = Communicator(
+            self.world, new_members.index(self.global_rank),
+            members=new_members, context=context,
+        )
+        sub.default_timeout = self.default_timeout
+        sub.retry_policy = self.retry_policy
+        return sub
+
     # -- collectives (implemented in collectives.py, bound here) -------------
     # These are assigned at import time at the bottom of collectives.py to
     # keep the two files separately readable; see that module for semantics.
@@ -685,6 +732,63 @@ class MpiWorld:
         self.detector = None
         if detector is not None:
             self.attach_detector(detector)
+
+    # -- elastic membership --------------------------------------------------
+    def expand(self) -> int:
+        """Grow the world to match the cluster's node count (idempotent).
+
+        Called after :meth:`~repro.machine.cluster.SimCluster.add_node`:
+        every new node index gets a world communicator endpoint, and
+        existing world endpoints learn the larger rank range.  Mailboxes
+        are created lazily, so no per-rank state beyond the endpoint is
+        needed.  Returns the new world size.
+        """
+        new_size = len(self.cluster)
+        if new_size <= self.size:
+            return self.size
+        template = self.comms[0] if self.comms else None
+        for r in range(self.size, new_size):
+            comm = Communicator(self, r)
+            if template is not None:
+                comm.default_timeout = template.default_timeout
+                comm.retry_policy = template.retry_policy
+            self.comms.append(comm)
+        self.size = new_size
+        for comm in self.comms:
+            if comm.members is None:
+                comm.size = new_size  # world endpoints see the wider range
+        return self.size
+
+    def endpoint(self, global_rank: int, context: int = 0) -> Communicator:
+        """Build an endpoint for ``global_rank`` into an existing context.
+
+        The joiner side of :meth:`Communicator.grow`: survivors receive the
+        grown communicator from the collective, while a joiner — which was
+        not a member of the old communicator — constructs its endpoint from
+        the registered context (the accept/connect side of ``MPI_Comm_spawn``
+        in a real ULFM runtime).
+        """
+        if not (0 <= global_rank < self.size):
+            raise RankError(
+                f"rank {global_rank} out of range [0, {self.size})"
+            )
+        if context == 0:
+            return self.comms[global_rank]
+        members = self._context_members.get(context)
+        if members is None:
+            raise MpiError(f"unknown communicator context {context}")
+        if global_rank not in members:
+            raise RankError(
+                f"rank {global_rank} is not a member of context {context}"
+            )
+        comm = Communicator(
+            self, members.index(global_rank),
+            members=list(members), context=context,
+        )
+        world_comm = self.comms[global_rank]
+        comm.default_timeout = world_comm.default_timeout
+        comm.retry_policy = world_comm.retry_policy
+        return comm
 
     # -- failure detection --------------------------------------------------
     def attach_detector(self, detector) -> None:

@@ -31,6 +31,16 @@ gossip detector).  Nothing consults the injector's ground truth to *decide*
 positives are honest, measurable quantities (see the R2 ``reconfiguration``
 experiment).
 
+* **Join/admission** — membership is elastic.  A new (or replacement) node
+  announces itself over the same out-of-band channel to every known rank;
+  the *coordinator* — the lowest rank each receiver believes alive — answers
+  with an admission ack, and on receipt the joiner is absorbed: every
+  observer's view gains (or resets) the rank, its emitter/monitor processes
+  start, and its death event re-arms.  Announces and acks pay real wire time
+  and are subject to the same loss model as heartbeats, so the joiner
+  retries each admission window until acked (``join_announce`` / ``admit``
+  events; see ``docs/ELASTICITY.md``).
+
 Determinism: the schedule is pure virtual time and the only randomness is
 the fault plan's own seeded per-message loss draw, taken in simulation event
 order — identical seed + config reproduce bit-identical detection times.
@@ -47,7 +57,9 @@ from ..machine.simulator import Environment, Event, Interrupt, Process
 __all__ = ["HeartbeatConfig", "FailureDetector", "DetectorEvent"]
 
 #: Kinds of detector events reported to listeners / kept in the log.
-DETECTOR_EVENT_KINDS = ("suspect", "clear_suspect", "declare_dead")
+DETECTOR_EVENT_KINDS = (
+    "suspect", "clear_suspect", "declare_dead", "join_announce", "admit",
+)
 
 
 @dataclass(frozen=True)
@@ -144,6 +156,11 @@ class FailureDetector:
         self._first_declared: Dict[int, Tuple[float, int]] = {}
         self._procs: Dict[int, List[Process]] = {}
         self._started = False
+        # -- join protocol state -----------------------------------------
+        self._join_events: Dict[int, Event] = {}
+        self._join_requested: Dict[int, float] = {}
+        self._admitted: Dict[int, Tuple[float, int]] = {}
+        self._announce_seen: Set[Tuple[int, int]] = set()
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "FailureDetector":
@@ -234,6 +251,161 @@ class FailureDetector:
                     view.suspicion[peer] = 0
                 self._launch(target)
 
+    # -- join / admission protocol -----------------------------------------
+    def request_join(self, rank: int, max_attempts: int = 8) -> Event:
+        """Run the admission handshake for ``rank``; returns its join event.
+
+        The joiner announces itself to every known rank over the out-of-band
+        channel (real wire time, loss model applied); whichever receiver
+        believes itself coordinator — the lowest rank alive in its own view —
+        acks, and the ack's arrival absorbs the rank into the membership.
+        The returned event fires with ``(time, coordinator)`` at absorption.
+        Announces are retried every admission window (``config.window``) up
+        to ``max_attempts`` times, so a lossy fabric delays admission rather
+        than wedging it.  Re-joining a previously-declared-dead rank resets
+        every observer's opinion of it (replacement hardware at the same
+        index); a rank beyond the current membership is appended and peers
+        learn of it at absorption time.
+        """
+        if not self._started:
+            raise RuntimeError("detector not started")
+        ev = self._join_events.get(rank)
+        if ev is not None and not ev.triggered:
+            return ev  # handshake already in flight
+        if (rank in self.views and rank not in self._first_declared
+                and self._node_alive(rank) and ev is not None):
+            return ev  # already a live, admitted member
+        ev = self.env.event()
+        self._join_events[rank] = ev
+        self._admitted.pop(rank, None)
+        self._join_requested[rank] = self.env.now
+        self._announce_seen = {
+            pair for pair in self._announce_seen if pair[1] != rank
+        }
+        self.env.process(self._joiner(rank, max_attempts),
+                         name=f"hb-join:{rank}")
+        return ev
+
+    def join_event(self, rank: int) -> Event:
+        """The admission event for ``rank`` (see :meth:`request_join`)."""
+        ev = self._join_events.get(rank)
+        if ev is None:
+            raise KeyError(f"no join requested for rank {rank}")
+        return ev
+
+    def admitted(self, rank: int) -> Optional[Tuple[float, int]]:
+        """(time, coordinator) of ``rank``'s admission, or None."""
+        return self._admitted.get(rank)
+
+    def join_latency(self, rank: int) -> Optional[float]:
+        """Virtual seconds from announce to admission, or None if pending."""
+        info = self._admitted.get(rank)
+        if info is None or rank not in self._join_requested:
+            return None
+        return info[0] - self._join_requested[rank]
+
+    def _joiner(self, rank: int, max_attempts: int):
+        cfg = self.config
+        try:
+            for _attempt in range(max_attempts):
+                if not self._node_alive(rank):
+                    return  # the candidate died before admission
+                for peer in [p for p in self.ranks if p != rank]:
+                    self.env.process(
+                        self._announce(rank, peer),
+                        name=f"hb-announce:{rank}->{peer}",
+                    )
+                yield self.env.timeout(cfg.window)
+                if rank in self._admitted:
+                    return
+        except Interrupt:
+            return
+
+    def _announce(self, src: int, dst: int):
+        """One join announcement over the out-of-band channel."""
+        arrived = yield from self._oob_send(src, dst)
+        if arrived:
+            self._receive_announce(dst, src)
+
+    def _admit_ack(self, coord: int, joiner: int):
+        """The coordinator's admission ack back to the joiner."""
+        arrived = yield from self._oob_send(coord, joiner)
+        if arrived:
+            self._absorb(joiner, coord)
+
+    def _oob_send(self, src: int, dst: int):
+        """Sub-generator: one control message over the heartbeat channel.
+
+        Same cost and loss model as :meth:`_ping`; returns True when the
+        payload arrived.
+        """
+        cfg = self.config
+        cluster = self.cluster
+        faults = cluster.faults
+        fabric = cluster.fabric
+        if faults is not None and not faults.link_up(src, dst):
+            return False
+        link = fabric.spec.link_for(fabric.same_board(src, dst))
+        factor = faults.link_factor(src, dst) if faults is not None else 1.0
+        wire = (
+            link.sw_overhead + link.latency
+            + cfg.ping_bytes / (link.bandwidth * factor)
+        )
+        try:
+            yield self.env.timeout(wire)
+        except Interrupt:
+            return False
+        if faults is not None:
+            if (not faults.alive(src) or not faults.alive(dst)
+                    or not faults.link_up(src, dst)):
+                return False
+            if faults.sample_delivery(src, dst, cfg.ping_bytes) != "delivered":
+                return False
+        return True
+
+    def _receive_announce(self, dst: int, src: int) -> None:
+        if dst not in self.views or not self._node_alive(dst):
+            return
+        if (dst, src) not in self._announce_seen:
+            self._announce_seen.add((dst, src))
+            self._emit("join_announce", dst, src, f"rank {src} announcing")
+        if src in self._admitted:
+            return  # late duplicate; already absorbed
+        view = self.views[dst]
+        live = [r for r in self.ranks if r != src and r not in view.dead]
+        coord = min(live) if live else dst
+        if dst == coord:
+            self.env.process(
+                self._admit_ack(dst, src), name=f"hb-admit:{dst}->{src}"
+            )
+
+    def _absorb(self, rank: int, coordinator: int) -> None:
+        """Complete admission: membership mutation + event fan-out."""
+        if rank in self._admitted:
+            return
+        now = self.env.now
+        self._admitted[rank] = (now, coordinator)
+        if rank in self.views:
+            # Rejoin at an existing index: reset every opinion of it and
+            # restart its own detector processes.
+            self.clear(rank)
+        else:
+            self.ranks.append(rank)
+            self.ranks.sort()
+            for r, view in self.views.items():
+                if r != rank:
+                    view.last_heard[rank] = now
+                    view.suspicion[rank] = 0
+            self.views[rank] = _RankView(
+                [p for p in self.ranks if p != rank], now
+            )
+            if self._started:
+                self._launch(rank)
+        self._emit("admit", coordinator, rank, f"rank {rank} admitted")
+        ev = self._join_events.get(rank)
+        if ev is not None and not ev.triggered:
+            ev.succeed((now, coordinator))
+
     # -- event plumbing ----------------------------------------------------
     def _emit(self, kind: str, observer: int, target: int, detail: str) -> None:
         ev = DetectorEvent(self.env.now, kind, observer, target, detail)
@@ -318,7 +490,6 @@ class FailureDetector:
     def _monitor(self, rank: int):
         cfg = self.config
         grace = cfg.miss_grace * cfg.period
-        view_peers = [p for p in self.ranks if p != rank]
         try:
             while True:
                 yield self.env.timeout(cfg.period)
@@ -326,7 +497,9 @@ class FailureDetector:
                     return
                 view = self.views[rank]
                 now = self.env.now
-                for peer in view_peers:
+                # Peers come from the view each tick: membership is elastic,
+                # and an absorbed joiner must be monitored from then on.
+                for peer in list(view.last_heard):
                     if peer in view.dead:
                         continue
                     if now - view.last_heard[peer] > grace:

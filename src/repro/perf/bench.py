@@ -46,6 +46,7 @@ __all__ = [
     "run_pass",
     "run_config",
     "run_bench",
+    "run_migration_pause",
     "compute_speedups",
     "compare_to_baseline",
     "write_report",
@@ -284,6 +285,62 @@ def run_bench(
     return results
 
 
+def run_migration_pause(
+    registry: PerfRegistry,
+    nodes: int = 8,
+    size: int = 32,
+    iterations: int = 6,
+) -> Optional[Dict[str, float]]:
+    """Tracked stat, no gate: the simulated pause of one live migration.
+
+    Runs one crash -> rejoin -> re-grow cycle (FFT2D, ``grow_restripe``)
+    and records the migration pause into *registry* as
+    ``runtime.migration_pause_s``.  Unlike every other figure here this is
+    *virtual* seconds — what the simulated application stalls during the
+    re-grow, not host time (see docs/ELASTICITY.md).  Returns the
+    ``{pause_s, migrations}`` summary, or None if no migration happened.
+    """
+    from ..apps import benchmark_mapping
+    from ..core.codegen import generate_glue
+    from ..core.runtime import DEFAULT_CONFIG, SageRuntime
+    from ..experiments import APP_BUILDERS
+    from ..faults import FaultPlan, FaultPolicy
+    from ..machine import Environment, SimCluster, get_platform
+    from .registry import REGISTRY as _GLOBAL
+
+    builder, _ = APP_BUILDERS["fft2d"]
+    model = builder(size, nodes)
+    glue = generate_glue(model, benchmark_mapping(model, nodes),
+                         num_processors=nodes)
+
+    def run_once(plan):
+        env = Environment()
+        cluster = SimCluster.from_platform(env, get_platform("cspi"), nodes,
+                                           fault_plan=plan)
+        runtime = SageRuntime(glue, cluster,
+                              config=DEFAULT_CONFIG.timing_only(),
+                              fault_policy=FaultPolicy.grow_restripe())
+        return runtime.run(iterations=iterations)
+
+    base = run_once(None)
+    plan = (FaultPlan(seed=71)
+            .crash_node(nodes - 1, at=base.makespan * 0.3, permanent=True)
+            .join_node(nodes - 1, at=base.makespan * 0.6))
+    empty = {"count": 0, "total_s": 0.0}
+    before = _GLOBAL.snapshot()["timers"].get(
+        "runtime.migration_pause_s", empty)
+    run_once(plan)
+    after = _GLOBAL.snapshot()["timers"].get(
+        "runtime.migration_pause_s", empty)
+    migrations = after["count"] - before["count"]
+    pause = after["total_s"] - before["total_s"]
+    if migrations <= 0:
+        return None
+    registry.record("runtime.migration_pause_s", pause)
+    registry.count("bench.migrations", migrations)
+    return {"pause_s": pause, "migrations": migrations}
+
+
 def compute_speedups(
     current: Dict[str, Dict[str, float]],
     baseline: Dict[str, Dict[str, float]],
@@ -437,6 +494,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.apps, args.nodes, args.size, iterations,
         args.repeats, args.warmups, registry, verbose=True,
     )
+    pause = run_migration_pause(registry)
+    if pause:
+        print(
+            f"  migration pause: {pause['pause_s'] * 1e6:.1f} virtual us "
+            f"over {pause['migrations']} migration(s) (tracked, no gate)",
+            file=sys.stderr,
+        )
 
     if args.emit_baseline:
         print(json.dumps(results, indent=1))

@@ -26,7 +26,31 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable
 
-__all__ = ["KeyedCache", "named_cache", "clear_all_caches", "cache_stats"]
+__all__ = [
+    "KeyedCache",
+    "named_cache",
+    "clear_all_caches",
+    "cache_stats",
+    "MAPPING_SCOPED_CACHES",
+    "invalidate_mapping_caches",
+]
+
+#: Caches whose values embed a thread->processor placement or are derived
+#: from one (striping plans feed placement-dependent remote-traffic tables;
+#: glue source/code bake the mapping in).  Keys are content fingerprints, so
+#: stale *hits* are impossible even without invalidation — but a membership
+#: change (shrink or grow) retires the old placement for good, so the
+#: runtime drops these eagerly: entries keyed by the dead mapping would
+#: otherwise pin memory for the rest of the process, and a regression in the
+#: fingerprinting of any one layer would silently resurrect a stale-mapping
+#: artifact.  The elasticity tests assert these are empty after every
+#: membership change.
+MAPPING_SCOPED_CACHES = (
+    "striping.thread_region",
+    "striping.message_plan",
+    "codegen.glue_source",
+    "codegen.glue_code",
+)
 
 
 class KeyedCache:
@@ -106,6 +130,22 @@ def clear_all_caches() -> int:
     for cache in _REGISTRY.values():
         evicted += len(cache)
         cache.clear()
+    return evicted
+
+
+def invalidate_mapping_caches() -> int:
+    """Drop every mapping-scoped cache (see :data:`MAPPING_SCOPED_CACHES`).
+
+    Called by the run-time kernel whenever cluster membership changes —
+    after a shrink re-stripes onto survivors and after a grow migrates back
+    onto replacements.  Returns the number of entries evicted.
+    """
+    evicted = 0
+    for name in MAPPING_SCOPED_CACHES:
+        cache = _REGISTRY.get(name)
+        if cache is not None:
+            evicted += len(cache)
+            cache.clear()
     return evicted
 
 

@@ -2,8 +2,12 @@
 
 All times are host wall-clock (``time.perf_counter``), never simulated virtual
 time — this layer measures how fast the simulator itself runs, not what it
-simulates.  A single process-wide :data:`REGISTRY` backs ``python -m repro
-bench``; tests construct private :class:`PerfRegistry` instances.
+simulates.  One deliberate exception: ``runtime.migration_pause_s`` records
+the *simulated* stall of a live migration (see docs/ELASTICITY.md); it rides
+in the same registry so ``python -m repro bench`` can report it alongside the
+host figures as a tracked stat.  A single process-wide :data:`REGISTRY` backs
+``python -m repro bench``; tests construct private :class:`PerfRegistry`
+instances.
 """
 
 from __future__ import annotations

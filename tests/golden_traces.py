@@ -57,6 +57,16 @@ def _lossy_plan(_nodes: int) -> FaultPlan:
     return plan
 
 
+def _rejoin_plan(_nodes: int) -> FaultPlan:
+    """The full elastic cycle: a permanent crash, then a same-slot
+    replacement powering on; grow_restripe detects, shrinks, runs degraded,
+    admits the replacement, and migrates the moved threads back."""
+    plan = FaultPlan(seed=13)
+    plan.crash_node(5, at=0.0005, permanent=True)
+    plan.join_node(5, at=0.0015)
+    return plan
+
+
 #: name -> (app, n, nodes, iterations, plan factory, policy factory)
 SCENARIOS: Dict[str, tuple] = {
     "fft2d_4n_clean": ("fft2d", 64, 4, 3, _clean_plan, lambda: None),
@@ -68,6 +78,10 @@ SCENARIOS: Dict[str, tuple] = {
     "cornerturn_4n_lossy_retry": (
         "corner_turn", 32, 4, 2, _lossy_plan,
         lambda: FaultPolicy.retry(max_retries=4),
+    ),
+    "fft2d_8n_rejoin_grow": (
+        "fft2d", 32, 8, 5, _rejoin_plan,
+        lambda: FaultPolicy.grow_restripe(),
     ),
 }
 
