@@ -9,8 +9,9 @@ generate     load a design document, run the Alter glue generator, save glue
 analyze      run the SAGE Verifier (lint + schedules + buffers), no execution
 run          load a design document and execute it on a simulated platform
 bench        wall-clock benchmark of the pipeline, writes BENCH_simcore.json
+chaos        randomized chaos soak: seeded fault schedules x fault policies
 table1 / crossvendor / ablations / atot-study / period-latency
-fault-tolerance / reconfiguration / elasticity
+fault-tolerance / reconfiguration / elasticity / gray-failure
              the paper-artifact experiments (see repro.experiments)
 """
 
@@ -185,6 +186,7 @@ _EXPERIMENTS = {
     "fault-tolerance": "fault_tolerance",
     "reconfiguration": "reconfiguration",
     "elasticity": "elasticity",
+    "gray-failure": "gray_failure",
 }
 
 
@@ -201,6 +203,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .perf import bench
 
         return bench.main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from .chaos.soak import main as chaos_main
+
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__.splitlines()[0]
@@ -253,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.set_defaults(fn=cmd_run)
 
     sub.add_parser("bench", help="wall-clock pipeline benchmark (repro.perf.bench)")
+    sub.add_parser("chaos", help="randomized chaos soak (repro.chaos.soak)")
     for name, module in _EXPERIMENTS.items():
         sub.add_parser(name, help=f"experiment: repro.experiments.{module}")
 

@@ -1,7 +1,12 @@
 """Benchmark applications: SAGE models and hand-coded baselines."""
 
 from .workloads import MatrixProvider, matrix_workload
-from .models import benchmark_mapping, corner_turn_model, fft2d_model
+from .models import (
+    benchmark_mapping,
+    corner_turn_model,
+    fft2d_model,
+    fft2d_slack_model,
+)
 from .fft2d_hand import RankTimings, fft2d_rank
 from .cornerturn_hand import corner_turn_rank
 
@@ -11,6 +16,7 @@ __all__ = [
     "benchmark_mapping",
     "corner_turn_model",
     "fft2d_model",
+    "fft2d_slack_model",
     "RankTimings",
     "fft2d_rank",
     "corner_turn_rank",

@@ -23,7 +23,12 @@ from ..core.model import (
     striped,
 )
 
-__all__ = ["fft2d_model", "corner_turn_model", "benchmark_mapping"]
+__all__ = [
+    "fft2d_model",
+    "fft2d_slack_model",
+    "corner_turn_model",
+    "benchmark_mapping",
+]
 
 
 def _matrix_type(n: int) -> DataType:
@@ -54,6 +59,49 @@ def fft2d_model(n: int, nodes: int, seed: int = 1234) -> ApplicationModel:
     colfft.add_in("in", t, striped(1))
     colfft.add_out("out", t, striped(1))
     sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink", threads=nodes))
+    sink.add_in("in", t, striped(1))
+    app.connect(src.port("out"), rowfft.port("in"))
+    app.connect(rowfft.port("out"), colfft.port("in"))
+    app.connect(colfft.port("out"), sink.port("in"))
+    return app
+
+
+def fft2d_slack_model(n: int = 56, threads: int = 28,
+                      seed: int = 1234) -> ApplicationModel:
+    """The fft2d pipeline with striping *slack*: more threads than nodes.
+
+    Same four-block structure as :func:`fft2d_model`, but the thread count
+    is decoupled from the node count and the matrix size need not be a
+    power of two (the analytic FFT cost model is size-generic; only the
+    Table 1.0 benchmarks pin power-of-two sizes for fidelity to the kit).
+
+    The point of the slack is gray-failure recovery quality: with exactly
+    one thread per node, draining a straggler forces some survivor to run
+    two full stripes (a 2x stage-time penalty), whereas e.g. 28 threads on
+    8 nodes stripe as 4,4,4,4,3,3,3,3 — a balanced drain of a 4-thread
+    node re-deals its orphans onto the 3-thread nodes and steady-state
+    throughput is unchanged.  This is the R4 gray-failure workload.
+    """
+    if n <= 0 or threads <= 0:
+        raise ValueError("matrix size and thread count must be positive")
+    if n % threads:
+        raise ValueError(
+            f"matrix size {n} must divide evenly over {threads} threads"
+        )
+    t = _matrix_type(n)
+    app = ApplicationModel(f"gray_fft2d_{n}x{n}_{threads}t")
+    src = app.add_block(
+        FunctionBlock("src", kernel="matrix_source", threads=threads,
+                      params={"n": n, "seed": seed})
+    )
+    src.add_out("out", t, striped(0))
+    rowfft = app.add_block(FunctionBlock("rowfft", kernel="fft_rows", threads=threads))
+    rowfft.add_in("in", t, striped(0))
+    rowfft.add_out("out", t, striped(0))
+    colfft = app.add_block(FunctionBlock("colfft", kernel="fft_cols", threads=threads))
+    colfft.add_in("in", t, striped(1))
+    colfft.add_out("out", t, striped(1))
+    sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink", threads=threads))
     sink.add_in("in", t, striped(1))
     app.connect(src.port("out"), rowfft.port("in"))
     app.connect(rowfft.port("out"), colfft.port("in"))

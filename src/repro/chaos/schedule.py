@@ -1,0 +1,138 @@
+"""Seeded random fault-schedule generation over the full taxonomy.
+
+A :class:`ChaosSchedule` is pure data: a :class:`~repro.machine.faults.FaultPlan`
+plus the taxonomy tags needed by the invariant checker to decide what a
+given fault policy is *expected* to do with it.  Generation is a pure
+function of ``(seed, nodes, horizon, kinds)`` — the same arguments always
+produce the same schedule, so any soak failure is replayable from its seed
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..machine.faults import FaultPlan
+
+__all__ = ["CHAOS_KINDS", "ChaosSchedule", "generate_schedule"]
+
+#: The full injectable taxonomy, one tag per machine-layer primitive.
+#: ``join`` is the replacement lifecycle: a permanent crash followed by
+#: same-slot replacement hardware powering on.
+CHAOS_KINDS = (
+    "crash", "hang", "slow", "degrade", "jitter", "flap",
+    "loss", "corruption", "join",
+)
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One generated fault schedule plus the tags the checker needs."""
+
+    seed: int
+    nodes: int
+    horizon: float
+    kinds: Tuple[str, ...]          # taxonomy tags drawn, in draw order
+    plan: FaultPlan
+    permanent_crash: bool = False   # a permanent crash with no replacement
+    hard_flap: bool = False         # a flap whose down-phase fully drops the link
+
+    def describe(self) -> str:
+        tags = ",".join(self.kinds) or "empty"
+        return f"schedule(seed={self.seed}, {tags})"
+
+
+def _pick_node(rng: random.Random, nodes: int) -> int:
+    """A fault-target node.  Rank 0 is spared from crash-class faults: it
+    hosts the detector coordinator and the source/sink thread 0, which the
+    membership protocol (like the paper's host runtime) treats as the
+    fixed point of the cluster."""
+    return rng.randrange(1, nodes)
+
+
+def _pick_link(rng: random.Random, nodes: int) -> Tuple[int, int]:
+    a = rng.randrange(nodes)
+    b = rng.randrange(nodes - 1)
+    if b >= a:
+        b += 1
+    return a, b
+
+
+def generate_schedule(
+    seed: int,
+    nodes: int,
+    horizon: float,
+    kinds: Optional[Sequence[str]] = None,
+    min_events: int = 1,
+    max_events: int = 3,
+) -> ChaosSchedule:
+    """Draw a random fault schedule for a run of roughly ``horizon`` seconds.
+
+    ``kinds`` restricts the taxonomy (default: all of :data:`CHAOS_KINDS`);
+    between ``min_events`` and ``max_events`` tags are drawn with
+    replacement, so one schedule can, e.g., limp a node *and* flap a link
+    while losing messages.  All times and magnitudes are scaled to
+    ``horizon`` so the schedule lands inside the run regardless of the
+    workload's absolute speed.
+    """
+    if nodes < 2:
+        raise ValueError("chaos schedules need at least 2 nodes")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if not (1 <= min_events <= max_events):
+        raise ValueError("need 1 <= min_events <= max_events")
+    pool = tuple(kinds) if kinds is not None else CHAOS_KINDS
+    for k in pool:
+        if k not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {k!r}")
+    rng = random.Random(seed)
+    plan = FaultPlan(seed=seed)
+    count = rng.randint(min_events, max_events)
+    drawn = tuple(rng.choice(pool) for _ in range(count))
+    permanent_crash = False
+    hard_flap = False
+    for kind in drawn:
+        at = horizon * rng.uniform(0.10, 0.70)
+        if kind == "crash":
+            permanent = rng.random() < 0.3
+            plan.crash_node(_pick_node(rng, nodes), at=at, permanent=permanent)
+            permanent_crash = permanent_crash or permanent
+        elif kind == "hang":
+            plan.hang_node(_pick_node(rng, nodes), at=at,
+                           duration=horizon * rng.uniform(0.02, 0.15))
+        elif kind == "slow":
+            duration = (None if rng.random() < 0.3
+                        else horizon * rng.uniform(0.2, 0.6))
+            plan.slow_node(_pick_node(rng, nodes), at=at,
+                           factor=rng.uniform(0.15, 0.6), duration=duration)
+        elif kind == "degrade":
+            a, b = _pick_link(rng, nodes)
+            plan.degrade_link(a, b, at=at, factor=rng.uniform(0.1, 0.8),
+                              duration=horizon * rng.uniform(0.2, 0.6))
+        elif kind == "jitter":
+            a, b = _pick_link(rng, nodes)
+            plan.jitter_link(a, b, at=at,
+                             sigma=horizon * rng.uniform(5e-4, 5e-3),
+                             duration=horizon * rng.uniform(0.2, 0.6))
+        elif kind == "flap":
+            a, b = _pick_link(rng, nodes)
+            hard = rng.random() < 0.5
+            plan.flap_link(a, b, at=at,
+                           period=horizon * rng.uniform(0.05, 0.20),
+                           factor=0.0 if hard else rng.uniform(0.2, 0.8),
+                           cycles=rng.randint(2, 4))
+            hard_flap = hard_flap or hard
+        elif kind == "loss":
+            plan.message_loss(rng.uniform(0.01, 0.08))
+        elif kind == "corruption":
+            plan.message_corruption(rng.uniform(0.01, 0.05))
+        elif kind == "join":
+            node = _pick_node(rng, nodes)
+            plan.crash_node(node, at=at, permanent=True)
+            plan.join_node(node, at=horizon * rng.uniform(0.75, 0.95))
+    return ChaosSchedule(
+        seed=seed, nodes=nodes, horizon=horizon, kinds=drawn, plan=plan,
+        permanent_crash=permanent_crash, hard_flap=hard_flap,
+    )

@@ -109,27 +109,54 @@ def single_node_mapping(app: ApplicationModel, processor: int = 0) -> Mapping:
     return mapping
 
 
-def shrink_mapping(mapping: Mapping, survivors: Iterable[int]) -> Mapping:
+def shrink_mapping(mapping: Mapping, survivors: Iterable[int],
+                   balanced: bool = False) -> Mapping:
     """Remap a mapping's threads off lost processors onto the survivors.
 
     Threads already on a surviving processor stay put (their checkpointed
     state needs no movement); orphaned threads — those mapped to a
-    processor not in ``survivors`` — are dealt round-robin across the
-    survivor list in deterministic ``(function_id, thread)`` order.  This
-    is the degraded-mode mapping the run-time's ``shrink_restripe`` policy
+    processor not in ``survivors`` — are dealt across the survivor list in
+    deterministic ``(function_id, thread)`` order.  This is the
+    degraded-mode mapping the run-time's ``shrink_restripe`` policy
     installs after a permanent node loss.
+
+    With ``balanced=False`` (the legacy deal, pinned by golden traces)
+    orphans go round-robin regardless of load.  With ``balanced=True``
+    each orphan goes to the survivor holding the fewest threads *of the
+    same function* (ties: fewest threads overall, then lowest index) —
+    since co-mapped threads of a function serialise on the CPU, stage time
+    is the per-function maximum, and the balanced deal minimises it.  The
+    straggler-drain path uses this: a cleanly balanced drain can cost no
+    steady-state throughput at all when the striping has slack.
     """
     pool = sorted(set(survivors))
     if not pool:
         raise ModelError("shrink_mapping needs at least one survivor")
     out = Mapping()
-    orphan = 0
+    if not balanced:
+        orphan = 0
+        for (fid, t), proc in mapping.items():
+            if proc in pool:
+                out.assign(fid, t, proc)
+            else:
+                out.assign(fid, t, pool[orphan % len(pool)])
+                orphan += 1
+        return out
+    per_fn: Dict[int, Dict[int, int]] = {}
+    total: Dict[int, int] = {p: 0 for p in pool}
+    for (fid, t), proc in mapping.items():
+        if proc in pool:
+            per_fn.setdefault(fid, {p: 0 for p in pool})[proc] += 1
+            total[proc] += 1
     for (fid, t), proc in mapping.items():
         if proc in pool:
             out.assign(fid, t, proc)
-        else:
-            out.assign(fid, t, pool[orphan % len(pool)])
-            orphan += 1
+            continue
+        loads = per_fn.setdefault(fid, {p: 0 for p in pool})
+        target = min(pool, key=lambda p: (loads[p], total[p], p))
+        out.assign(fid, t, target)
+        loads[target] += 1
+        total[target] += 1
     return out
 
 

@@ -14,6 +14,7 @@ dispatch, logical-buffer staging copies, striping bookkeeping — per the
 
 from __future__ import annotations
 
+import random as _random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -146,6 +147,23 @@ class SageRuntime:
         # events, absorbed at the next iteration boundary by grow_restripe.
         self._lost_processors: List[int] = []
         self._pending_joins: List[int] = []
+        # Gray-failure state (migrate_stragglers): per-iteration per-node
+        # busy-time telemetry, consecutive-slow strike counts, the drained
+        # set (nodes keeping their rank but holding zero threads), and the
+        # per-node probation progress toward earning threads back.
+        self._iter_busy: Dict[int, Dict[int, float]] = {}
+        self._straggler_strikes: Dict[int, int] = {}
+        self._drained: set = set()
+        self._drain_probation: Dict[int, int] = {}
+        self._drain_relapse: Dict[int, int] = {}
+        self._slow_probed: set = set()
+        # Seeded stream for backoff jitter (desynchronised retries): derived
+        # from the fault plan's seed, drawn in simulation event order, and
+        # never consulted while backoff_jitter is 0.
+        plan_seed = (
+            cluster.faults.plan.seed if cluster.faults is not None else 0
+        )
+        self._backoff_rng = _random.Random(plan_seed ^ 0xB0FF)
         if cluster.faults is not None:
             # Mirror every injected fault into the trace so recovery is
             # visible next to the enter/exit/send spans on the timeline.
@@ -337,9 +355,13 @@ class SageRuntime:
             while True:
                 # Iteration boundary: the quiesce point where announced
                 # replacement capacity is admitted and migrated onto
-                # (grow_restripe).  Also reached on replay, so a join that
-                # lands mid-iteration is absorbed before the retry.
+                # (grow_restripe), drained stragglers earn threads back,
+                # and fresh stragglers are drained (migrate_stragglers).
+                # Also reached on replay, so a join that lands mid-iteration
+                # is absorbed before the retry.
                 self._maybe_grow(k)
+                self._maybe_restore_stragglers(k)
+                self._maybe_migrate_stragglers(k)
                 snapshot = [buf.snapshot() for buf in self.buffers]
                 self._probe_runtime("checkpoint", detail=f"iteration {k}",
                                     iteration=k)
@@ -387,6 +409,13 @@ class SageRuntime:
             period=policy.heartbeat_period,
             miss_grace=policy.miss_grace,
             threshold=policy.suspicion_threshold,
+            # Gray-failure detection: adaptive grace windows learned from
+            # observed heartbeat inter-arrivals plus an RTT probe stream
+            # feeding the suspected_slow state (see docs/DETECTION.md).
+            adaptive=policy.adaptive_detection,
+            rtt_probe_every=(
+                policy.rtt_probe_every if policy.adaptive_detection else 0
+            ),
         )
         self.detector = FailureDetector(
             self.cluster, config, ranks=sorted(self._active_processors)
@@ -411,6 +440,18 @@ class SageRuntime:
         """
         if kind == "clear_suspect":
             self._suspect_probed.discard(target)
+            return
+        if kind == "clear_slow":
+            self._slow_probed.discard(target)
+            return
+        if kind == "suspect_slow":
+            if target not in self._slow_probed:
+                self._slow_probed.add(target)
+                self._probe_runtime(
+                    "suspect_slow",
+                    detail=f"node {target} by observer {observer}: {detail}",
+                    processor=target,
+                )
             return
         if kind == "suspect":
             if target not in self._suspect_probed:
@@ -475,7 +516,10 @@ class SageRuntime:
                 self._detect_event.succeed((pending[0], declared_at))
         for buf, snap in zip(self.buffers, snapshot):
             buf.restore(snap)
-        # Discard the failed attempt's partial outputs and bookkeeping.
+        # Discard the failed attempt's partial outputs and bookkeeping
+        # (including the attempt's partial straggler telemetry, which would
+        # otherwise double-count on the replay).
+        self._iter_busy.pop(k, None)
         self._sink_results.pop(k, None)
         self._sink_times.pop(k, None)
         self._arrivals = {
@@ -511,8 +555,18 @@ class SageRuntime:
             raise RuntimeError_(
                 f"cannot shrink for iteration {k}: no surviving processors"
             ) from exc
+        # Orphaned threads should land on *healthy* survivors: a drained
+        # straggler keeps its rank but must not absorb a dead node's work.
+        # (If every survivor is drained, fall back to the full set.)
+        preferred = [p for p in survivors if p not in self._drained]
+        targets = preferred or survivors
         survivor_set = set(survivors)
         ring = sorted(self._active_processors)
+        for node in dead:
+            self._drained.discard(node)
+            self._drain_probation.pop(node, None)
+            self._drain_relapse.pop(node, None)
+            self._straggler_strikes.pop(node, None)
 
         old_proc: Dict[Tuple[int, int], int] = {}
         current = Mapping()
@@ -521,7 +575,7 @@ class SageRuntime:
                 p = self.processor_of(fid, t)
                 old_proc[(fid, t)] = p
                 current.assign(fid, t, p)
-        new_map = shrink_mapping(current, survivors)
+        new_map = shrink_mapping(current, targets)
         moved_keys = []
         for (fid, t), p in new_map.items():
             if p != old_proc[(fid, t)]:
@@ -584,6 +638,19 @@ class SageRuntime:
             nbytes=total,
         )
 
+    def _jittered(self, delay: float) -> float:
+        """Scale a backoff sleep by the policy's seeded jitter.
+
+        With ``backoff_jitter`` j > 0 the delay is multiplied by a uniform
+        draw from [1-j, 1+j], desynchronising ranks that would otherwise
+        retry a burned link in lock-step.  j == 0 draws nothing, so legacy
+        runs stay byte-identical.
+        """
+        j = self.fault_policy.backoff_jitter
+        if j and delay > 0:
+            delay *= 1.0 + j * (2.0 * self._backoff_rng.random() - 1.0)
+        return delay
+
     def _restripe_transfer(self, src: int, dst: int, nbytes: int,
                            label: str, iteration: int):
         """Move one checkpointed region to its new owner, with retries."""
@@ -611,7 +678,7 @@ class SageRuntime:
                 iteration=iteration,
             )
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield self.env.timeout(self._jittered(delay))
             delay *= policy.backoff_factor
         raise TransportError(
             f"restripe transfer {label} from processor {src} to {dst} "
@@ -802,6 +869,218 @@ class SageRuntime:
                 else:
                     self._buf_recv_remote.pop((bid, t), None)
 
+    # -- gray failures (migrate_stragglers) ---------------------------------------
+    def _maybe_migrate_stragglers(self, k: int) -> None:
+        """Score the previous iteration's progress and drain stragglers.
+
+        A node whose per-iteration busy time exceeded ``straggler_factor ×``
+        the median across thread-holding nodes earns a strike; after
+        ``straggler_patience`` consecutive strikes it is drained at this
+        boundary.  The score is pure progress telemetry — no access to the
+        injector's ground truth — so a limping node is indistinguishable
+        from a genuinely overloaded one, exactly as in a real deployment.
+        """
+        policy = self.fault_policy
+        if not policy.migrates_stragglers or k == 0:
+            return
+        busy = self._iter_busy.pop(k - 1, None)
+        if not busy:
+            return
+        scores = {
+            p: t for p, t in busy.items()
+            if p in self._active_processors and p not in self._drained
+        }
+        if len(scores) < 2:
+            return
+        ordered = sorted(scores.values())
+        mid = len(ordered) // 2
+        median = (
+            ordered[mid] if len(ordered) % 2
+            else 0.5 * (ordered[mid - 1] + ordered[mid])
+        )
+        if median <= 0:
+            return
+        for p in sorted(scores):
+            if scores[p] > policy.straggler_factor * median:
+                self._straggler_strikes[p] = (
+                    self._straggler_strikes.get(p, 0) + 1
+                )
+            else:
+                self._straggler_strikes.pop(p, None)
+        stragglers = [
+            p for p in sorted(scores)
+            if self._straggler_strikes.get(p, 0) >= policy.straggler_patience
+        ]
+        if not stragglers:
+            return
+        healthy = sorted(
+            self._active_processors - self._drained - set(stragglers)
+        )
+        if not healthy:
+            return  # never drain the last thread-holding capacity
+        self._drain_stragglers(stragglers, healthy, k)
+
+    def _drain_stragglers(self, stragglers: List[int], healthy: List[int],
+                          k: int) -> None:
+        """Quiesced drain: move a limping node's threads to healthy nodes.
+
+        Unlike a shrink, the node is alive — just slow — so it keeps its
+        rank and detector membership, its checkpointed regions ship from
+        the node itself (the live owner; no ring mirror), and it holds
+        zero threads afterwards until probation restores it.
+        """
+        quiesce_at = self.env.now
+        old_proc: Dict[Tuple[int, int], int] = {}
+        current = Mapping()
+        for fid, entry in sorted(self.functions.items()):
+            for t in range(entry["threads"]):
+                p = self.processor_of(fid, t)
+                old_proc[(fid, t)] = p
+                current.assign(fid, t, p)
+        new_map = shrink_mapping(current, healthy, balanced=True)
+        moved_keys: List[Tuple[int, int]] = []
+        for key, p in new_map.items():
+            if p != old_proc[key]:
+                moved_keys.append(key)
+            if p == self.glue.processor_of(*key):
+                self._proc_override.pop(key, None)
+            else:
+                self._proc_override[key] = p
+        for p in stragglers:
+            self._drained.add(p)
+            self._drain_probation[p] = 0
+            # A re-drain after a restore is a relapse: each one doubles the
+            # probation the node must serve, so a persistently limping node
+            # cannot oscillate drain/restore indefinitely.
+            self._drain_relapse[p] = self._drain_relapse.get(p, -1) + 1
+            self._straggler_strikes.pop(p, None)
+        self._update_remote_tables(old_proc, new_map, moved_keys)
+        invalidate_mapping_caches()
+        if self.config.enforce_memory:
+            self._check_memory_footprint()
+
+        transfers: List[Tuple[int, int, int, str]] = []
+        for buf in self.buffers:
+            transfers.extend(moved_region_transfers(
+                buf, lambda f, t: old_proc[(f, t)], new_map.processor_of
+            ))
+        procs = [
+            self.env.process(
+                self._restripe_transfer(src, dst, nbytes, label, k),
+                name=f"drain:{label}",
+            )
+            for src, dst, nbytes, label in transfers
+            if src != dst and nbytes > 0
+        ]
+        if procs:
+            self.env.run(until=self.env.all_of(procs))
+        total = sum(nbytes for _, _, nbytes, _ in transfers)
+        pause = self.env.now - quiesce_at
+        REGISTRY.record("runtime.straggler_pause_s", pause)
+        self._probe_runtime(
+            "migrate_straggler",
+            detail=(
+                f"drained node(s) {sorted(stragglers)}; {len(moved_keys)} "
+                f"thread(s) moved to {len(healthy)} healthy node(s) in "
+                f"{pause:.6f}s pause"
+            ),
+            iteration=k,
+            nbytes=total,
+        )
+
+    def _maybe_restore_stragglers(self, k: int) -> None:
+        """Earn-back: restore a drained node once its slow state clears.
+
+        The detector's ``suspect_slow`` opinion must stay clear for
+        ``straggler_probation`` consecutive iteration boundaries; any
+        relapse resets the probation clock.  A drained node that died in
+        the meantime is handed off to the shrink bookkeeping instead.
+        """
+        policy = self.fault_policy
+        if not policy.migrates_stragglers or not self._drained:
+            return
+        ready: List[int] = []
+        for p in sorted(self._drained):
+            if p not in self._active_processors:
+                self._drained.discard(p)
+                self._drain_probation.pop(p, None)
+                continue
+            if self.detector is not None and self.detector.suspected_slow(p):
+                self._drain_probation[p] = 0
+                continue
+            self._drain_probation[p] = self._drain_probation.get(p, 0) + 1
+            required = policy.straggler_probation * (
+                2 ** min(self._drain_relapse.get(p, 0), 4)
+            )
+            if self._drain_probation[p] >= required:
+                ready.append(p)
+        if ready:
+            self._restore_stragglers(ready, k)
+
+    def _restore_stragglers(self, nodes: List[int], k: int) -> None:
+        """Give a recovered node its original threads back (live migration).
+
+        Reuses the grow engine with each node replacing itself: threads
+        whose original home is a restored node migrate back (with their
+        checkpointed regions, from the live current owners); everything
+        else keeps its current placement, so restores compose with any
+        concurrent degraded-mode state.
+        """
+        quiesce_at = self.env.now
+        old_proc: Dict[Tuple[int, int], int] = {}
+        current = Mapping()
+        original = Mapping()
+        for fid, entry in sorted(self.functions.items()):
+            for t in range(entry["threads"]):
+                p = self.processor_of(fid, t)
+                old_proc[(fid, t)] = p
+                current.assign(fid, t, p)
+                original.assign(fid, t, self.glue.processor_of(fid, t))
+        new_map = grow_mapping(current, original, {p: p for p in nodes})
+        moved_keys: List[Tuple[int, int]] = []
+        for key, p in new_map.items():
+            if p != old_proc[key]:
+                moved_keys.append(key)
+            if p == self.glue.processor_of(*key):
+                self._proc_override.pop(key, None)
+            else:
+                self._proc_override[key] = p
+        for p in nodes:
+            self._drained.discard(p)
+            self._drain_probation.pop(p, None)
+        self._update_remote_tables(old_proc, new_map, moved_keys)
+        invalidate_mapping_caches()
+        if self.config.enforce_memory:
+            self._check_memory_footprint()
+
+        transfers: List[Tuple[int, int, int, str]] = []
+        for buf in self.buffers:
+            transfers.extend(moved_region_transfers(
+                buf, lambda f, t: old_proc[(f, t)], new_map.processor_of
+            ))
+        procs = [
+            self.env.process(
+                self._restripe_transfer(src, dst, nbytes, label, k),
+                name=f"restore:{label}",
+            )
+            for src, dst, nbytes, label in transfers
+            if src != dst and nbytes > 0
+        ]
+        if procs:
+            self.env.run(until=self.env.all_of(procs))
+        total = sum(nbytes for _, _, nbytes, _ in transfers)
+        pause = self.env.now - quiesce_at
+        REGISTRY.record("runtime.straggler_pause_s", pause)
+        self._probe_runtime(
+            "migrate_straggler",
+            detail=(
+                f"restored node(s) {sorted(nodes)}; {len(moved_keys)} "
+                f"thread(s) earned back in {pause:.6f}s pause"
+            ),
+            iteration=k,
+            nbytes=total,
+        )
+
     # -- per-thread process ---------------------------------------------------------
     def _thread_proc(self, fid: int, thread: int, iteration: int):
         try:
@@ -836,6 +1115,13 @@ class SageRuntime:
             events = self._arrival_events(buf, iteration, thread)
             if events:
                 yield self.env.all_of(events)
+
+        # Straggler telemetry (migrate_stragglers): measure the wall span
+        # from dispatch to exit per node.  A limping node's CPU-rate scaling
+        # and queueing delay inflate this honestly — the score needs no
+        # access to the injector's ground truth.
+        track_progress = self.fault_policy.migrates_stragglers
+        busy_from = self.env.now if track_progress else 0.0
 
         # Function-table dispatch (the per-invocation run-time cost).
         if cfg.dispatch_overhead > 0:
@@ -887,7 +1173,7 @@ class SageRuntime:
                     iteration=iteration,
                 )
                 if delay > 0:
-                    yield self.env.timeout(delay)
+                    yield self.env.timeout(self._jittered(delay))
                 delay *= policy.backoff_factor
             except KernelError:
                 raise
@@ -935,6 +1221,12 @@ class SageRuntime:
                     name=f"xfer:{buf.name}#{iteration}",
                 )
                 self._live_procs.append(proc)
+
+        if track_progress:
+            per_node = self._iter_busy.setdefault(iteration, {})
+            per_node[node.index] = (
+                per_node.get(node.index, 0.0) + (self.env.now - busy_from)
+            )
 
         self._probe("exit", entry, thread, iteration, node.index)
         if fid in self.sink_ids:
@@ -1016,7 +1308,7 @@ class SageRuntime:
                 iteration=iteration,
             )
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield self.env.timeout(self._jittered(delay))
             delay *= policy.backoff_factor
         raise TransportError(
             f"message {buf.name}#{iteration} from processor {src_proc} to "

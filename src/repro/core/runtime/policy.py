@@ -34,6 +34,16 @@ run-time therefore executes under one of three :class:`FaultPolicy` modes:
   re-stripes — only moved threads are re-planned — and resumes at full
   striping width, closing the crash → shrink → degraded → re-grow →
   restored loop (see ``docs/ELASTICITY.md``).
+* ``migrate_stragglers`` — everything ``grow_restripe`` does, plus *gray*
+  failure handling: the kernel records per-iteration per-node busy time, a
+  node whose progress score exceeds ``straggler_factor ×`` the median for
+  ``straggler_patience`` consecutive iterations is drained at the next
+  iteration boundary — its threads migrate (with their checkpointed
+  regions, shipped from the still-live owner) onto the healthy nodes, the
+  node keeps its rank but holds zero threads — and, once the detector's
+  ``suspect_slow`` state clears for ``straggler_probation`` consecutive
+  boundaries, it earns its original threads back through the same
+  migration engine (see ``docs/CHAOS.md``).
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ __all__ = ["FaultPolicy", "FAIL_FAST", "TransportError", "POLICY_MODES"]
 
 POLICY_MODES = (
     "fail_fast", "retry", "checkpoint_restart", "shrink_restripe",
-    "grow_restripe",
+    "grow_restripe", "migrate_stragglers",
 )
 
 
@@ -73,6 +83,27 @@ class FaultPolicy:
         :class:`~repro.mpi.detector.HeartbeatConfig` the run-time starts:
         seconds between heartbeats, silence (in periods) counted as a miss,
         and consecutive misses before a node is declared dead.
+    backoff_jitter:
+        Fraction in [0, 1): every runtime retry backoff sleep is scaled by
+        a seeded uniform draw from ``[1 - jitter, 1 + jitter]``, so many
+        ranks retrying the same burned transfer desynchronise instead of
+        re-colliding.  0 (the default) draws nothing — byte-identical to
+        the legacy backoff.
+    adaptive_detection:
+        When True the detector runs with adaptive (phi-accrual-style)
+        grace windows and RTT probing — required for ``suspect_slow``
+        signals; implied by ``migrate_stragglers``.
+    rtt_probe_every:
+        Detector RTT-probe cadence, in heartbeat periods (adaptive modes).
+    straggler_factor:
+        A node whose per-iteration busy time exceeds this multiple of the
+        median across thread-holding nodes counts one straggler strike.
+    straggler_patience:
+        Consecutive strikes before the node is drained
+        (``migrate_stragglers`` only).
+    straggler_probation:
+        Consecutive iteration boundaries with a clear ``suspect_slow``
+        state before a drained node earns its threads back.
     """
 
     mode: str = "fail_fast"
@@ -83,6 +114,12 @@ class FaultPolicy:
     heartbeat_period: float = 1e-4
     miss_grace: float = 2.5
     suspicion_threshold: int = 3
+    backoff_jitter: float = 0.0
+    adaptive_detection: bool = False
+    rtt_probe_every: int = 4
+    straggler_factor: float = 2.0
+    straggler_patience: int = 2
+    straggler_probation: int = 2
 
     def __post_init__(self):
         if self.mode not in POLICY_MODES:
@@ -97,6 +134,16 @@ class FaultPolicy:
             raise ValueError("miss_grace must be >= 1")
         if self.suspicion_threshold < 1:
             raise ValueError("suspicion_threshold must be >= 1")
+        if not (0 <= self.backoff_jitter < 1):
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.rtt_probe_every < 1:
+            raise ValueError("rtt_probe_every must be >= 1")
+        if self.straggler_factor <= 1:
+            raise ValueError("straggler_factor must be > 1")
+        if self.straggler_patience < 1 or self.straggler_probation < 1:
+            raise ValueError(
+                "straggler_patience and straggler_probation must be >= 1"
+            )
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -144,27 +191,60 @@ class FaultPolicy:
                    heartbeat_period=heartbeat_period, miss_grace=miss_grace,
                    suspicion_threshold=suspicion_threshold)
 
+    @classmethod
+    def migrate_stragglers(cls, max_restarts: int = 3, max_retries: int = 2,
+                           backoff: float = 1e-4, backoff_factor: float = 2.0,
+                           heartbeat_period: float = 1e-4,
+                           miss_grace: float = 2.5,
+                           suspicion_threshold: int = 3,
+                           backoff_jitter: float = 0.0,
+                           rtt_probe_every: int = 4,
+                           straggler_factor: float = 2.0,
+                           straggler_patience: int = 2,
+                           straggler_probation: int = 2) -> "FaultPolicy":
+        """Elastic recovery plus gray-failure drain/restore of stragglers."""
+        return cls(mode="migrate_stragglers", max_restarts=max_restarts,
+                   max_retries=max_retries, backoff=backoff,
+                   backoff_factor=backoff_factor,
+                   heartbeat_period=heartbeat_period, miss_grace=miss_grace,
+                   suspicion_threshold=suspicion_threshold,
+                   backoff_jitter=backoff_jitter,
+                   adaptive_detection=True,
+                   rtt_probe_every=rtt_probe_every,
+                   straggler_factor=straggler_factor,
+                   straggler_patience=straggler_patience,
+                   straggler_probation=straggler_probation)
+
     @property
     def retries_transfers(self) -> bool:
         return (self.mode in ("retry", "checkpoint_restart",
-                              "shrink_restripe", "grow_restripe")
+                              "shrink_restripe", "grow_restripe",
+                              "migrate_stragglers")
                 and self.max_retries > 0)
 
     @property
     def checkpoints(self) -> bool:
         return self.mode in (
-            "checkpoint_restart", "shrink_restripe", "grow_restripe"
+            "checkpoint_restart", "shrink_restripe", "grow_restripe",
+            "migrate_stragglers",
         )
 
     @property
     def shrinks(self) -> bool:
         """True when permanent node loss is survivable (re-striping modes)."""
-        return self.mode in ("shrink_restripe", "grow_restripe")
+        return self.mode in (
+            "shrink_restripe", "grow_restripe", "migrate_stragglers"
+        )
 
     @property
     def regrows(self) -> bool:
         """True when replacement capacity is re-absorbed automatically."""
-        return self.mode == "grow_restripe"
+        return self.mode in ("grow_restripe", "migrate_stragglers")
+
+    @property
+    def migrates_stragglers(self) -> bool:
+        """True when limping nodes are drained and later restored."""
+        return self.mode == "migrate_stragglers"
 
 
 FAIL_FAST = FaultPolicy()

@@ -33,6 +33,10 @@ PROBE_KINDS = (
     # and the live migration that ships moved threads' checkpointed buffer
     # state to their restored owners.
     "join", "grow", "migrate",
+    # Gray failures (migrate_stragglers): the detector suspecting a node of
+    # limping (alive but slow), and the drain/restore migration that moves
+    # a straggler's threads onto healthy nodes (and later back).
+    "suspect_slow", "migrate_straggler",
 )
 
 #: O(1) membership for the per-event validation check (PROBE_KINDS stays a

@@ -33,6 +33,11 @@ _FAULT_MARKS = {
     "restripe": "#17becf",
     "restore": "#2ca02c",
     "retry": "#ff7f0e",
+    "join": "#59a14f",
+    "grow": "#76b7b2",
+    "migrate": "#b07aa1",
+    "suspect_slow": "#bcbd22",
+    "migrate_straggler": "#8c564b",
 }
 
 

@@ -4,8 +4,9 @@ The implementation spans three layers (deliberately — each layer owns the
 failure modes it can observe):
 
 * :mod:`repro.machine.faults` — the deterministic :class:`FaultPlan` /
-  :class:`FaultInjector` that crash and hang nodes, drop and degrade links,
-  and sample per-message loss/corruption from a seeded RNG;
+  :class:`FaultInjector` that crash, hang, and *slow* nodes (gray
+  failures), drop/degrade/jitter/flap links, and sample per-message
+  loss/corruption from a seeded RNG;
 * :mod:`repro.mpi` — receive/wait timeouts (:class:`MpiTimeoutError`),
   integrity checking (:class:`CorruptionError` / :class:`TruncationError`),
   :class:`RetryPolicy`-driven retransmission (:class:`DeliveryError`), the
@@ -43,10 +44,13 @@ from .machine.faults import (
     LinkDegrade,
     LinkDrop,
     LinkFailure,
+    LinkFlap,
+    LinkJitter,
     NodeCrash,
     NodeFailure,
     NodeHang,
     NodeJoin,
+    NodeSlow,
     TransientError,
 )
 from .machine.interconnect import TransferOutcome
@@ -68,8 +72,11 @@ __all__ = [
     "NodeCrash",
     "NodeHang",
     "NodeJoin",
+    "NodeSlow",
     "LinkDrop",
     "LinkDegrade",
+    "LinkJitter",
+    "LinkFlap",
     "FaultError",
     "NodeFailure",
     "LinkFailure",

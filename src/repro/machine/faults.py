@@ -16,6 +16,16 @@ lets a simulation declare the faults a deployment would have to survive:
   (0, 1]; transfers complete but slower (degraded mode).
 * **Message loss / corruption** — each fabric transfer is independently
   lost or corrupted with a configured probability, drawn from a seeded RNG.
+* **Node slowdown** — a *gray* failure: the processor keeps answering but
+  its CPU runs at a fraction of nominal rate (a "limping" node, distinct
+  from a binary hang).  Liveness checks pass; only progress measurement
+  notices.
+* **Link jitter** — each transfer over the link pays extra latency drawn
+  from a seeded exponential distribution (mean ``sigma``); the link is up,
+  just noisy.
+* **Link flap** — seeded degrade/restore cycles: the link alternates
+  between degraded (or fully down, ``factor=0``) and healthy every half
+  ``period`` for ``cycles`` cycles.
 
 Determinism
 -----------
@@ -42,8 +52,11 @@ __all__ = [
     "NodeCrash",
     "NodeHang",
     "NodeJoin",
+    "NodeSlow",
     "LinkDrop",
     "LinkDegrade",
+    "LinkJitter",
+    "LinkFlap",
     "FaultPlan",
     "FaultInjector",
     "DELIVERED",
@@ -145,6 +158,31 @@ class NodeJoin:
 
 
 @dataclass(frozen=True)
+class NodeSlow:
+    """Node ``node`` limps at ``factor`` × nominal CPU rate from ``at``.
+
+    A gray failure: the node still heartbeats, acks, and completes work —
+    just slowly.  ``duration=None`` means the slowdown is sustained until
+    the node is replaced (or the run ends); otherwise it recovers after
+    ``duration`` seconds.  Operations *in flight* when the slowdown starts
+    complete at their original rate (the modelled cost was already
+    committed to the event queue); everything dispatched afterwards pays.
+    """
+
+    node: int
+    at: float
+    factor: float
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        _check_time(self.at)
+        if not (0 < self.factor <= 1):
+            raise ValueError("slow factor must be in (0, 1]")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("slow duration must be positive or None")
+
+
+@dataclass(frozen=True)
 class LinkDrop:
     """The ``a``–``b`` link goes down at ``at`` (forever if duration None)."""
 
@@ -175,6 +213,56 @@ class LinkDegrade:
             raise ValueError("degrade factor must be in (0, 1]")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("degrade duration must be positive or None")
+
+
+@dataclass(frozen=True)
+class LinkJitter:
+    """Transfers over ``a``–``b`` pay extra seeded latency (mean ``sigma``).
+
+    Each transfer draws an exponential extra delay with mean ``sigma``
+    seconds from the injector's gray-failure RNG — a separate stream from
+    the loss/corruption RNG, so arming jitter never perturbs the delivery
+    draws of an existing plan.
+    """
+
+    a: int
+    b: int
+    at: float
+    sigma: float
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        _check_time(self.at)
+        if self.sigma <= 0:
+            raise ValueError("jitter sigma must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("jitter duration must be positive or None")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """The ``a``–``b`` link flaps: degraded/healthy cycles from ``at``.
+
+    Each cycle lasts ``period`` seconds: down-phase first (bandwidth ×
+    ``factor``; ``factor=0`` means fully down) for half the period, then
+    healthy for the other half, repeated ``cycles`` times.
+    """
+
+    a: int
+    b: int
+    at: float
+    period: float
+    factor: float = 0.0
+    cycles: int = 3
+
+    def __post_init__(self):
+        _check_time(self.at)
+        if self.period <= 0:
+            raise ValueError("flap period must be positive")
+        if not (0 <= self.factor <= 1):
+            raise ValueError("flap factor must be in [0, 1]")
+        if self.cycles < 1:
+            raise ValueError("flap cycles must be >= 1")
 
 
 class FaultPlan:
@@ -208,9 +296,27 @@ class FaultPlan:
         self.events.append(NodeJoin(node, at))
         return self
 
+    def slow_node(self, node: int, at: float, factor: float,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Node limps at ``factor`` × nominal CPU rate (gray failure)."""
+        self.events.append(NodeSlow(node, at, factor, duration))
+        return self
+
     def drop_link(self, a: int, b: int, at: float,
                   duration: Optional[float] = None) -> "FaultPlan":
         self.events.append(LinkDrop(a, b, at, duration))
+        return self
+
+    def jitter_link(self, a: int, b: int, at: float, sigma: float,
+                    duration: Optional[float] = None) -> "FaultPlan":
+        """Seeded exponential extra latency (mean ``sigma``) per transfer."""
+        self.events.append(LinkJitter(a, b, at, sigma, duration))
+        return self
+
+    def flap_link(self, a: int, b: int, at: float, period: float,
+                  factor: float = 0.0, cycles: int = 3) -> "FaultPlan":
+        """Degrade/restore cycles every half ``period``, ``cycles`` times."""
+        self.events.append(LinkFlap(a, b, at, period, factor, cycles))
         return self
 
     def degrade_link(self, a: int, b: int, at: float, factor: float,
@@ -262,9 +368,15 @@ class FaultInjector:
         self.env = env
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        # Gray-failure draws (jitter) come from a *separate* seeded stream
+        # so arming them never perturbs the loss/corruption draw order of
+        # an existing plan (golden traces stay byte-identical).
+        self._gray_rng = random.Random(plan.seed ^ 0x9E3779B9)
         self._dead: dict = {}        # node -> (failed_at, permanent)
         self._down: dict = {}        # link key -> down_since
         self._degrade: dict = {}     # link key -> factor
+        self._slow: dict = {}        # node -> cpu factor
+        self._jitter: dict = {}      # link key -> mean extra latency (s)
         self.log: List[Tuple[float, str, str]] = []
         self._listeners: List[Callable[[float, str, str, int], None]] = []
         self.cluster = None
@@ -300,6 +412,32 @@ class FaultInjector:
                     actions.append(
                         (ev.at + ev.duration, order,
                          lambda e=ev: self._clear_degrade(e))
+                    )
+            elif isinstance(ev, NodeSlow):
+                actions.append((ev.at, order, lambda e=ev: self._apply_slow(e)))
+                if ev.duration is not None:
+                    actions.append(
+                        (ev.at + ev.duration, order,
+                         lambda e=ev: self._clear_slow(e))
+                    )
+            elif isinstance(ev, LinkJitter):
+                actions.append((ev.at, order, lambda e=ev: self._apply_jitter(e)))
+                if ev.duration is not None:
+                    actions.append(
+                        (ev.at + ev.duration, order,
+                         lambda e=ev: self._clear_jitter(e))
+                    )
+            elif isinstance(ev, LinkFlap):
+                half = ev.period / 2.0
+                for cycle in range(ev.cycles):
+                    start = ev.at + cycle * ev.period
+                    actions.append(
+                        (start, order,
+                         lambda e=ev, c=cycle: self._apply_flap_down(e, c))
+                    )
+                    actions.append(
+                        (start + half, order,
+                         lambda e=ev, c=cycle: self._apply_flap_up(e, c))
                     )
             else:  # pragma: no cover - plan builders prevent this
                 raise TypeError(f"unknown fault event {ev!r}")
@@ -339,6 +477,8 @@ class FaultInjector:
             # Replacement hardware at a dead index discharges the crash.
             del self._dead[ev.node]
             detail += " (replacement)"
+        # Fresh hardware in the slot never inherits a limp.
+        self._slow.pop(ev.node, None)
         if self.cluster is not None:
             if ev.node >= len(self.cluster):
                 self.cluster.add_node(index=ev.node)
@@ -367,6 +507,48 @@ class FaultInjector:
             yield self.env.timeout(duration)
         finally:
             node.cpu.release()
+
+    def _apply_slow(self, ev: NodeSlow) -> None:
+        self._slow[ev.node] = ev.factor
+        self._record("node_slow", f"node {ev.node} x{ev.factor:g}", ev.node)
+
+    def _clear_slow(self, ev: NodeSlow) -> None:
+        self._slow.pop(ev.node, None)
+        self._record("node_recover", f"node {ev.node}", ev.node)
+
+    def _apply_jitter(self, ev: LinkJitter) -> None:
+        self._jitter[_link_key(ev.a, ev.b)] = ev.sigma
+        self._record(
+            "link_jitter", f"link {ev.a}<->{ev.b} sigma={ev.sigma:g}s", ev.a
+        )
+
+    def _clear_jitter(self, ev: LinkJitter) -> None:
+        self._jitter.pop(_link_key(ev.a, ev.b), None)
+        self._record("link_restore", f"link {ev.a}<->{ev.b} jitter", ev.a)
+
+    def _apply_flap_down(self, ev: LinkFlap, cycle: int) -> None:
+        key = _link_key(ev.a, ev.b)
+        if ev.factor == 0:
+            self._down[key] = self.env.now
+        else:
+            self._degrade[key] = ev.factor
+        self._record(
+            "link_flap",
+            f"link {ev.a}<->{ev.b} down (cycle {cycle + 1}/{ev.cycles})",
+            ev.a,
+        )
+
+    def _apply_flap_up(self, ev: LinkFlap, cycle: int) -> None:
+        key = _link_key(ev.a, ev.b)
+        if ev.factor == 0:
+            self._down.pop(key, None)
+        else:
+            self._degrade.pop(key, None)
+        self._record(
+            "link_restore",
+            f"link {ev.a}<->{ev.b} flap (cycle {cycle + 1}/{ev.cycles})",
+            ev.a,
+        )
 
     def _apply_drop(self, ev: LinkDrop) -> None:
         self._down[_link_key(ev.a, ev.b)] = self.env.now
@@ -405,6 +587,26 @@ class FaultInjector:
 
     def link_factor(self, src: int, dst: int) -> float:
         return self._degrade.get(_link_key(src, dst), 1.0)
+
+    def cpu_factor(self, node: int) -> float:
+        """Current CPU rate multiplier for ``node`` (1.0 = full speed)."""
+        return self._slow.get(node, 1.0)
+
+    @property
+    def slow_nodes(self) -> List[int]:
+        return sorted(self._slow)
+
+    def sample_jitter(self, src: int, dst: int) -> float:
+        """Seeded extra latency for one transfer over ``src``–``dst``.
+
+        Returns 0.0 — without consuming a draw — when the link has no
+        jitter armed, so un-jittered plans are RNG-order-identical to
+        pre-gray-failure builds.
+        """
+        sigma = self._jitter.get(_link_key(src, dst))
+        if not sigma:
+            return 0.0
+        return self._gray_rng.expovariate(1.0 / sigma)
 
     def sample_delivery(self, src: int, dst: int, nbytes: float) -> str:
         """Deterministic per-transfer loss/corruption draw."""

@@ -179,6 +179,9 @@ class Fabric:
         link = self.spec.link_for(self.same_board(src, dst))
         factor = faults.link_factor(src, dst) if faults is not None else 1.0
         duration = link.sw_overhead + link.latency + nbytes / (link.bandwidth * factor)
+        if faults is not None:
+            # Gray-failure jitter: seeded extra wire latency on noisy links.
+            duration += faults.sample_jitter(src, dst)
         inject = self._port(self._inject, src)
         eject = self._port(self._eject, dst)
         shared = (

@@ -94,6 +94,32 @@ class SimNode:
         if self.faults is not None:
             self.faults.check_node(self.index)
 
+    def _rate_scaled(self, duration: float) -> float:
+        """Stretch a modeled duration by the node's current CPU slowdown.
+
+        A limping node (gray failure) runs at ``cpu_factor`` × nominal
+        rate, so every operation dispatched while slow takes
+        ``duration / cpu_factor`` seconds.  Work already in flight when a
+        slowdown begins completes at its original rate — the cost was
+        committed to the event queue at dispatch.
+        """
+        if self.faults is not None:
+            factor = self.faults.cpu_factor(self.index)
+            if factor != 1.0:
+                return duration / factor
+        return duration
+
+    def cpu_time_of(self, seconds: float) -> float:
+        """CPU time a nominal ``seconds`` workload consumes at the current
+        rate — the ``getrusage`` view a self-timing benchmark observes.
+
+        Unlike wall time this excludes queueing behind co-mapped work, so
+        it isolates the node's execution *rate*: the failure detector's RTT
+        probes use it to keep a limping node visible even when the node is
+        otherwise idle, without false-positiving on merely busy ones.
+        """
+        return self._rate_scaled(seconds)
+
     def reset(self) -> int:
         """Return the node to power-on state: idle CPU, no allocations.
 
@@ -131,7 +157,7 @@ class SimNode:
     def compute(self, flops: float, label: Optional[str] = None):
         """Generator: occupy the CPU for the modeled duration of ``flops``."""
         self._check_alive()
-        duration = self.spec.compute_time(flops)
+        duration = self._rate_scaled(self.spec.compute_time(flops))
         yield from self.cpu.use(duration)
         # A crash that lands mid-operation surfaces when the work "completes".
         self._check_alive()
@@ -139,7 +165,7 @@ class SimNode:
     def copy(self, nbytes: float, label: Optional[str] = None):
         """Generator: occupy the CPU for a memory copy of ``nbytes``."""
         self._check_alive()
-        duration = self.spec.copy_time(nbytes)
+        duration = self._rate_scaled(self.spec.copy_time(nbytes))
         yield from self.cpu.use(duration)
         self._check_alive()
 
@@ -148,5 +174,5 @@ class SimNode:
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         self._check_alive()
-        yield from self.cpu.use(seconds)
+        yield from self.cpu.use(self._rate_scaled(seconds))
         self._check_alive()

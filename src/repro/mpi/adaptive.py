@@ -1,0 +1,164 @@
+"""Adaptive latency estimation for gray-failure detection (Jacobson/Karels).
+
+Fixed timeouts are tuned for a healthy fabric: degrade a link to a quarter
+of its bandwidth and every deadline derived from the clean-link RTT starts
+false-positiving, even though messages still arrive.  The classic fix —
+TCP's Jacobson/Karels retransmission-timer estimator, and its descendant,
+the phi-accrual failure detector — is to *measure* latency and derive
+deadlines from the observed mean and deviation instead of a constant.
+
+:class:`RttEstimator` is the scalar core: exponentially-weighted moving
+average of samples (``srtt``) plus a mean-deviation estimate (``rttvar``),
+with the standard ``mean + k * dev`` deadline rule.  :class:`AdaptiveTimeout`
+wraps a per-source estimator table for the MPI receive path; the failure
+detector keeps per-peer estimators of heartbeat inter-arrival times and RTT
+probe round trips (see :mod:`repro.mpi.detector`).
+
+Everything here is pure arithmetic on observed virtual-time samples — no
+randomness, no simulator state — so determinism is inherited from the
+sample stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["RttEstimator", "AdaptiveTimeout"]
+
+
+class RttEstimator:
+    """EWMA mean + mean-deviation estimator (Jacobson/Karels).
+
+    ``alpha`` weights the mean update, ``beta`` the deviation update; the
+    TCP defaults (1/8 and 1/4) are kept.  The first sample initialises the
+    mean exactly (dev = sample / 2, as in RFC 6298).
+
+    The estimator also keeps a decaying *peak* watermark: the largest
+    recent sample, relaxing toward the mean with a ~32-sample time
+    constant.  ``mean + k * dev`` alone is blind to rare-but-recurring
+    spikes — under random message loss the deviation estimate converges
+    back toward the per-sample jitter while the occasional loss *streak*
+    still produces a multi-period gap.  A deadline floored at the peak
+    treats any gap the channel has already survived once as survivable.
+    """
+
+    __slots__ = ("mean", "dev", "peak", "samples", "alpha", "beta",
+                 "peak_decay")
+
+    #: Default per-sample decay of the peak watermark toward the mean.
+    #: 1/32 keeps a spike relevant for roughly a hundred samples — long
+    #: enough to bridge recurring loss streaks, short enough to forget a
+    #: one-off outage after the fabric heals.  An estimator pooled over
+    #: ``m`` streams should divide this by ``m``: decay is per *sample*,
+    #: and a pool sees ``m`` samples in the time one stream sees one.
+    PEAK_DECAY = 1.0 / 32.0
+
+    def __init__(self, alpha: float = 0.125, beta: float = 0.25,
+                 peak_decay: Optional[float] = None):
+        if not (0 < alpha <= 1) or not (0 < beta <= 1):
+            raise ValueError("alpha and beta must be in (0, 1]")
+        if peak_decay is None:
+            peak_decay = self.PEAK_DECAY
+        if not (0 < peak_decay <= 1):
+            raise ValueError("peak_decay must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.peak_decay = peak_decay
+        self.mean = 0.0
+        self.dev = 0.0
+        self.peak = 0.0
+        self.samples = 0
+
+    def observe(self, sample: float) -> None:
+        """Fold one latency sample into the estimate."""
+        if sample < 0:
+            raise ValueError("latency samples must be non-negative")
+        if self.samples == 0:
+            self.mean = sample
+            self.dev = sample / 2.0
+            self.peak = sample
+        else:
+            err = sample - self.mean
+            self.mean += self.alpha * err
+            self.dev += self.beta * (abs(err) - self.dev)
+            decayed = self.mean + (self.peak - self.mean) * (1.0 - self.peak_decay)
+            self.peak = max(sample, decayed)
+        self.samples += 1
+
+    def deadline(self, k: float = 4.0) -> float:
+        """The classic ``mean + k * dev`` timeout rule."""
+        return self.mean + k * self.dev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RttEstimator(mean={self.mean:.3g}, dev={self.dev:.3g}, "
+            f"n={self.samples})"
+        )
+
+
+class AdaptiveTimeout:
+    """Per-source adaptive receive deadlines for the MPI layer.
+
+    Feed it every matched message's observed delivery latency
+    (``arrived_at - sent_at``); :meth:`deadline` then returns a deadline
+    that tracks the fabric's *current* behaviour — degraded links stretch
+    the deadline instead of tripping it.
+
+    ``margin`` scales the estimate to absorb sender-side compute skew (a
+    receive waits for the sender to *produce* the payload, not just for the
+    wire), ``phi`` is the deviation multiplier, and ``floor`` / ``cap``
+    clamp the result.  With fewer than ``warmup`` samples for a source,
+    :meth:`deadline` returns ``None`` and the caller falls back to its
+    fixed default.
+    """
+
+    def __init__(self, floor: float = 0.0, cap: Optional[float] = None,
+                 margin: float = 3.0, phi: float = 4.0, warmup: int = 2):
+        if margin <= 0 or phi < 0:
+            raise ValueError("margin must be positive and phi non-negative")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive or None")
+        self.floor = float(floor)
+        self.cap = cap
+        self.margin = float(margin)
+        self.phi = float(phi)
+        self.warmup = int(warmup)
+        self._by_source: Dict[int, RttEstimator] = {}
+
+    def observe(self, source: int, latency: float) -> None:
+        est = self._by_source.get(source)
+        if est is None:
+            est = self._by_source[source] = RttEstimator()
+        est.observe(latency)
+
+    def estimator(self, source: int) -> Optional[RttEstimator]:
+        return self._by_source.get(source)
+
+    def _clamp(self, value: float) -> float:
+        value = max(value, self.floor)
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def deadline(self, source: Optional[int] = None) -> Optional[float]:
+        """Adaptive deadline for a receive from ``source``.
+
+        ``source=None`` (ANY_SOURCE) uses the slowest warmed-up source, so
+        a wildcard receive never times out on its laggiest healthy sender.
+        Returns ``None`` when no source has enough samples.
+        """
+        if source is not None:
+            est = self._by_source.get(source)
+            if est is None or est.samples < self.warmup:
+                return None
+            return self._clamp(self.margin * est.deadline(self.phi))
+        warmed = [
+            e for e in self._by_source.values() if e.samples >= self.warmup
+        ]
+        if not warmed:
+            return None
+        return self._clamp(
+            max(self.margin * e.deadline(self.phi) for e in warmed)
+        )

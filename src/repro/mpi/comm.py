@@ -25,6 +25,7 @@ semantics, like the small-message eager protocol of the vendor MPIs in §3.1);
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -69,17 +70,28 @@ class RetryPolicy:
     seconds before the first retry and multiplying by ``factor`` each
     attempt.  After ``max_attempts`` total transmissions it raises
     :class:`~repro.mpi.errors.DeliveryError`.
+
+    ``jitter`` desynchronises retry storms: each backoff sleep is scaled by
+    a factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` using the
+    world's seeded RNG — when a flapping link burns every rank's send at
+    the same instant, their retransmissions spread out instead of slamming
+    the fabric in lock-step.  Draws come from one seeded stream in
+    simulation event order, so runs stay bit-reproducible.  The default
+    (0.0) draws nothing and is byte-identical to the legacy policy.
     """
 
     max_attempts: int = 4
     backoff: float = 1e-4
     factor: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff < 0 or self.factor < 1:
             raise ValueError("backoff must be >= 0 and factor >= 1")
+        if not (0 <= self.jitter < 1):
+            raise ValueError("jitter must be in [0, 1)")
 
 
 class Message:
@@ -226,6 +238,12 @@ class Communicator:
         self.default_timeout: Optional[float] = None
         #: Default :class:`RetryPolicy` for p2p sends (None = fire and forget).
         self.retry_policy: Optional[RetryPolicy] = None
+        #: Optional :class:`~repro.mpi.adaptive.AdaptiveTimeout`: when set,
+        #: receives with no explicit timeout derive their deadline from the
+        #: observed per-source delivery latency (warmed-up sources only;
+        #: cold sources fall back to ``default_timeout``).  Shared across
+        #: this rank's sub-communicators so samples survive shrink/grow.
+        self.adaptive_timeout = None
 
     # -- small helpers ----------------------------------------------------
     @property
@@ -259,6 +277,32 @@ class Communicator:
 
     def _effective_timeout(self, timeout: Optional[float]) -> Optional[float]:
         return self.default_timeout if timeout is None else timeout
+
+    def _recv_deadline(self, source_g: int,
+                       timeout: Optional[float]) -> Optional[float]:
+        """Deadline for one receive: explicit > adaptive > default.
+
+        The adaptive estimate only engages once its source (or, for
+        ``ANY_SOURCE``, at least one source) is warmed up — a degraded
+        link then stretches the deadline with the observed latency instead
+        of tripping a fixed timeout tuned for the healthy fabric.
+        """
+        if timeout is not None:
+            return timeout
+        if self.adaptive_timeout is not None:
+            adaptive = self.adaptive_timeout.deadline(
+                None if source_g == ANY_SOURCE else source_g
+            )
+            if adaptive is not None:
+                return adaptive
+        return self.default_timeout
+
+    def _observe_latency(self, msg: "Message") -> None:
+        """Feed a matched message's delivery latency to the estimator."""
+        if self.adaptive_timeout is not None and msg.arrived_at is not None:
+            self.adaptive_timeout.observe(
+                msg.source, msg.arrived_at - msg.sent_at
+            )
 
     def _group(self) -> List[int]:
         """This communicator's members as global ranks."""
@@ -313,8 +357,15 @@ class Communicator:
         failure = "undelivered"
         for attempt in range(policy.max_attempts):
             if attempt:
-                if delay > 0:
-                    yield self.env.timeout(delay)
+                sleep = delay
+                if policy.jitter and sleep > 0:
+                    # Seeded, event-ordered draw: spread simultaneous
+                    # retries out without giving up reproducibility.
+                    sleep *= 1.0 + policy.jitter * (
+                        2.0 * self.world._backoff_rng.random() - 1.0
+                    )
+                if sleep > 0:
+                    yield self.env.timeout(sleep)
                 delay *= policy.factor
             try:
                 outcome = yield from self.world._send(
@@ -359,20 +410,25 @@ class Communicator:
         than wedging until the timeout.
         """
         self._check_revoked(tag)
+        source_g = self._g_source(source)
         msg = yield from self.world._recv(
-            self.global_rank, self._g_source(source), tag, self.context,
-            timeout=self._effective_timeout(timeout), max_bytes=max_bytes,
+            self.global_rank, source_g, tag, self.context,
+            timeout=self._recv_deadline(source_g, timeout),
+            max_bytes=max_bytes,
         )
+        self._observe_latency(msg)
         return msg.data
 
     def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                  timeout: Optional[float] = None) -> Generator:
         """Like :meth:`recv` but returns the full :class:`Message` envelope."""
         self._check_revoked(tag)
+        source_g = self._g_source(source)
         msg = yield from self.world._recv(
-            self.global_rank, self._g_source(source), tag, self.context,
-            timeout=self._effective_timeout(timeout),
+            self.global_rank, source_g, tag, self.context,
+            timeout=self._recv_deadline(source_g, timeout),
         )
+        self._observe_latency(msg)  # before _localize rewrites msg.source
         return self._localize(msg)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
@@ -489,6 +545,7 @@ class Communicator:
         )
         sub.default_timeout = self.default_timeout
         sub.retry_policy = self.retry_policy
+        sub.adaptive_timeout = self.adaptive_timeout
         return sub
 
     # -- ULFM-style fault-tolerance primitives -------------------------------
@@ -633,6 +690,7 @@ class Communicator:
         )
         sub.default_timeout = self.default_timeout
         sub.retry_policy = self.retry_policy
+        sub.adaptive_timeout = self.adaptive_timeout
         return sub
 
     def grow(self, joiners: Sequence[int],
@@ -680,6 +738,7 @@ class Communicator:
         )
         sub.default_timeout = self.default_timeout
         sub.retry_policy = self.retry_policy
+        sub.adaptive_timeout = self.adaptive_timeout
         return sub
 
     # -- collectives (implemented in collectives.py, bound here) -------------
@@ -712,10 +771,18 @@ class MpiWorld:
     def __init__(self, cluster: SimCluster,
                  default_timeout: Optional[float] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 detector: Optional[Any] = None):
+                 detector: Optional[Any] = None,
+                 adaptive_timeouts: bool = False,
+                 adaptive_params: Optional[dict] = None):
         self.cluster = cluster
         self.env: Environment = cluster.env
         self.size = len(cluster)
+        # Seeded stream for RetryPolicy backoff jitter: derived from the
+        # fault plan's seed (0 when no fault layer), drawn in simulation
+        # event order — deterministic, and untouched when jitter is 0.
+        faults = getattr(cluster, "faults", None)
+        plan_seed = faults.plan.seed if faults is not None else 0
+        self._backoff_rng = random.Random(plan_seed ^ 0x5B0FF)
         self._mailboxes: Dict[Tuple[int, int], _Mailbox] = {}
         self._contexts: Dict[Any, int] = {}
         #: context id -> member global ranks (None = all world ranks); feeds
@@ -730,8 +797,25 @@ class MpiWorld:
         self.total_bytes = 0
         self.total_messages = 0
         self.detector = None
+        self._adaptive_params: Optional[dict] = None
+        if adaptive_timeouts or adaptive_params is not None:
+            self.enable_adaptive_timeouts(**(adaptive_params or {}))
         if detector is not None:
             self.attach_detector(detector)
+
+    def enable_adaptive_timeouts(self, **params) -> None:
+        """Arm adaptive receive deadlines on every rank endpoint.
+
+        Each rank gets its *own* :class:`~repro.mpi.adaptive.AdaptiveTimeout`
+        (latency is observed per observer/source pair); endpoints created
+        later by :meth:`expand` inherit the same parameters.
+        """
+        from .adaptive import AdaptiveTimeout
+
+        self._adaptive_params = dict(params)
+        for comm in self.comms:
+            if comm.adaptive_timeout is None:
+                comm.adaptive_timeout = AdaptiveTimeout(**params)
 
     # -- elastic membership --------------------------------------------------
     def expand(self) -> int:
@@ -752,6 +836,12 @@ class MpiWorld:
             if template is not None:
                 comm.default_timeout = template.default_timeout
                 comm.retry_policy = template.retry_policy
+            if self._adaptive_params is not None:
+                from .adaptive import AdaptiveTimeout
+
+                comm.adaptive_timeout = AdaptiveTimeout(
+                    **self._adaptive_params
+                )
             self.comms.append(comm)
         self.size = new_size
         for comm in self.comms:
@@ -788,6 +878,7 @@ class MpiWorld:
         world_comm = self.comms[global_rank]
         comm.default_timeout = world_comm.default_timeout
         comm.retry_policy = world_comm.retry_policy
+        comm.adaptive_timeout = world_comm.adaptive_timeout
         return comm
 
     # -- failure detection --------------------------------------------------

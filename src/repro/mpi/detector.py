@@ -41,6 +41,28 @@ experiment).
   retries each admission window until acked (``join_announce`` / ``admit``
   events; see ``docs/ELASTICITY.md``).
 
+* **Adaptive suspicion (gray failures)** — with ``adaptive=True`` the grace
+  window is no longer the fixed ``miss_grace * period``: each observer keeps
+  a Jacobson/Karels estimator of every peer's heartbeat *inter-arrival*
+  time, and silence is judged against ``mean + phi * dev`` (clamped between
+  the configured grace and ``max_grace_periods``).  A degraded or jittery
+  link stretches the observed intervals, the grace stretches with them, and
+  the detector stops false-positiving — the phi-accrual idea.
+* **RTT probes / suspected_slow** — with ``rtt_probe_every > 0`` each rank
+  round-trips a probe to one live peer per window (round-robin, staggered
+  by rank so the aggregate load stays O(n)); the *ack charges real CPU on
+  the target node*, so a limping processor (``slow_node``) inflates the
+  measured RTT even though its link is healthy.  The probe body is a fixed
+  benchmark of known nominal cost: acks whose measured *service time*
+  exceeds ``slow_factor ×`` that nominal are slow samples (wire latency
+  cancels out, and an idle-but-limping node stays visible); streaks pool
+  cluster-wide, and ``slow_threshold`` consecutive slow
+  samples raise a ``suspect_slow`` state (distinct from
+  ``suspected``/``dead`` — the rank is alive, just limping), while
+  ``slow_clear_threshold`` consecutive normal samples clear it
+  (``clear_slow``).  The runtime's ``migrate_stragglers`` policy drains
+  and restores nodes off this signal.
+
 Determinism: the schedule is pure virtual time and the only randomness is
 the fault plan's own seeded per-message loss draw, taken in simulation event
 order — identical seed + config reproduce bit-identical detection times.
@@ -52,13 +74,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..machine.cluster import SimCluster
+from ..machine.faults import FaultError
 from ..machine.simulator import Environment, Event, Interrupt, Process
+from .adaptive import RttEstimator
 
 __all__ = ["HeartbeatConfig", "FailureDetector", "DetectorEvent"]
 
 #: Kinds of detector events reported to listeners / kept in the log.
 DETECTOR_EVENT_KINDS = (
     "suspect", "clear_suspect", "declare_dead", "join_announce", "admit",
+    "suspect_slow", "clear_slow",
 )
 
 
@@ -81,12 +106,58 @@ class HeartbeatConfig:
         robustness to message loss.
     ping_bytes:
         Modelled heartbeat payload size (charges the link bandwidth term).
+    adaptive:
+        When True, the silence grace per peer is derived from the observed
+        heartbeat inter-arrival estimate (``mean + phi * dev``) instead of
+        the fixed ``miss_grace * period`` — degraded/jittery links stretch
+        the grace instead of tripping it.  The fixed grace stays the floor
+        and ``max_grace_periods * period`` the ceiling.  Off by default:
+        legacy configs behave byte-identically.
+    phi:
+        Deviation multiplier for the adaptive grace (Jacobson's k=4).
+    peak_margin:
+        Adaptive-grace floor as a multiple of the peer's decaying *peak*
+        inter-arrival gap.  ``mean + phi * dev`` converges back toward the
+        per-sample jitter under random loss, but loss *streaks* recur: a
+        gap the channel has already survived once must not read as death
+        the next time.  Values > 1 leave headroom above the worst observed
+        gap.
+    max_grace_periods:
+        Upper clamp of the adaptive grace, in periods — a limping-but-alive
+        peer can stretch patience only so far before real suspicion.
+    rtt_probe_every:
+        Every ``rtt_probe_every`` periods each rank round-trips an RTT
+        probe to one live peer (round-robin); the ack charges ``probe_cpu``
+        seconds on the target's (possibly limping, possibly contended)
+        CPU.  0 disables probing — the default, so legacy runs schedule no
+        new events.
+    probe_cpu:
+        CPU seconds a target spends producing a probe ack.  This is what
+        makes a ``slow_node`` visible: its ack is stretched by 1/cpu_factor
+        and queues behind its (slower) application work.
+    slow_factor:
+        A probe ack whose measured service time exceeds ``slow_factor ×``
+        the nominal ``probe_cpu`` cost counts as a slow sample.
+    slow_threshold:
+        Consecutive slow samples (pooled across observers) before
+        ``suspect_slow`` is raised.
+    slow_clear_threshold:
+        Consecutive normal samples (pooled) before a slow suspicion clears.
     """
 
     period: float = 1e-4
     miss_grace: float = 2.5
     threshold: int = 3
     ping_bytes: int = 32
+    adaptive: bool = False
+    phi: float = 4.0
+    peak_margin: float = 2.0
+    max_grace_periods: float = 20.0
+    rtt_probe_every: int = 0
+    probe_cpu: float = 5e-6
+    slow_factor: float = 3.0
+    slow_threshold: int = 3
+    slow_clear_threshold: int = 2
 
     def __post_init__(self):
         if self.period <= 0:
@@ -97,6 +168,20 @@ class HeartbeatConfig:
             raise ValueError("threshold must be >= 1")
         if self.ping_bytes < 0:
             raise ValueError("ping_bytes must be non-negative")
+        if self.phi < 0:
+            raise ValueError("phi must be non-negative")
+        if self.peak_margin < 1:
+            raise ValueError("peak_margin must be >= 1")
+        if self.max_grace_periods < self.miss_grace:
+            raise ValueError("max_grace_periods must be >= miss_grace")
+        if self.rtt_probe_every < 0:
+            raise ValueError("rtt_probe_every must be >= 0 (0 disables)")
+        if self.probe_cpu < 0:
+            raise ValueError("probe_cpu must be non-negative")
+        if self.slow_factor <= 1:
+            raise ValueError("slow_factor must be > 1")
+        if self.slow_threshold < 1 or self.slow_clear_threshold < 1:
+            raise ValueError("slow thresholds must be >= 1")
 
     @property
     def window(self) -> float:
@@ -118,13 +203,24 @@ class DetectorEvent:
 class _RankView:
     """One observer's live opinion of its peers."""
 
-    __slots__ = ("last_heard", "suspicion", "suspected", "dead")
+    __slots__ = (
+        "last_heard", "suspicion", "suspected", "dead",
+        "intervals", "rtt",
+    )
 
     def __init__(self, peers: Sequence[int], start: float):
         self.last_heard: Dict[int, float] = {p: start for p in peers}
         self.suspicion: Dict[int, int] = {p: 0 for p in peers}
         self.suspected: Set[int] = set()
         self.dead: Set[int] = set()
+        # -- gray-failure state (adaptive / RTT probing) ------------------
+        self.intervals: Dict[int, RttEstimator] = {}   # heartbeat gaps
+        self.rtt: Dict[int, RttEstimator] = {}         # probe round trips
+
+    def reset_gray(self, peer: int) -> None:
+        """Forget all latency history for ``peer`` (replaced hardware)."""
+        self.intervals.pop(peer, None)
+        self.rtt.pop(peer, None)
 
 
 class FailureDetector:
@@ -154,6 +250,26 @@ class FailureDetector:
         self._listeners: List[Callable[[float, str, int, int, str], None]] = []
         self._death_events: Dict[int, Event] = {}
         self._first_declared: Dict[int, Tuple[float, int]] = {}
+        self._first_slow: Dict[int, Tuple[float, int]] = {}
+        # Slow-suspicion evidence is pooled cluster-wide: baselines are per
+        # observer (each learns its own path's RTT), but slow/normal sample
+        # streaks aggregate across observers so staggered round-robin probes
+        # reach the threshold in ~threshold windows instead of
+        # ~threshold × n windows.
+        self._slow: Set[int] = set()
+        self._slow_streak: Dict[int, int] = {}
+        self._normal_streak: Dict[int, int] = {}
+        # Heartbeat gaps pool detector-wide too: random message loss is a
+        # fabric property, and a loss *streak* is rare per pair but common
+        # across n(n-1) streams.  The pooled peak teaches every observer
+        # the fabric's worst survivable gap long before its own pair
+        # happens to produce one.  The decay is scaled to the pool's
+        # aggregate sample rate so the watermark's lifetime matches a
+        # single stream's (decay is per sample, and the pool sees n(n-1)
+        # samples in the time one pair sees one).
+        n = len(self.ranks)
+        self._gap_pool = RttEstimator(
+            peak_decay=RttEstimator.PEAK_DECAY / (n * (n - 1)))
         self._procs: Dict[int, List[Process]] = {}
         self._started = False
         # -- join protocol state -----------------------------------------
@@ -188,6 +304,10 @@ class FailureDetector:
             self.env.process(self._emitter(rank), name=f"hb-emit:{rank}"),
             self.env.process(self._monitor(rank), name=f"hb-mon:{rank}"),
         ]
+        if self.config.rtt_probe_every > 0:
+            self._procs[rank].append(
+                self.env.process(self._prober(rank), name=f"hb-rtt:{rank}")
+            )
 
     # -- observation API ---------------------------------------------------
     def subscribe(self, fn: Callable[[float, str, int, int, str], None]) -> None:
@@ -226,6 +346,24 @@ class FailureDetector:
         """Every rank declared dead by at least one observer."""
         return set(self._first_declared)
 
+    # -- gray-failure observation ------------------------------------------
+    def slow_suspects(self) -> Set[int]:
+        """The set of ranks currently suspected slow (pooled evidence)."""
+        return set(self._slow)
+
+    def suspected_slow(self, target: int) -> bool:
+        """True while the pooled probe evidence holds a slow suspicion."""
+        return target in self._slow
+
+    def first_slow(self, target: int) -> Optional[Tuple[float, int]]:
+        """(time, observer) of the first ``suspect_slow`` of target, or None."""
+        return self._first_slow.get(target)
+
+    def rtt_estimate(self, observer: int,
+                     target: int) -> Optional[RttEstimator]:
+        """Observer's probe-RTT estimator for ``target`` (None until warm)."""
+        return self.view(observer).rtt.get(target)
+
     def clear(self, target: int) -> None:
         """Forget a declaration (the rank was revived/restarted).
 
@@ -237,14 +375,28 @@ class FailureDetector:
         for view in self.views.values():
             view.dead.discard(target)
             view.suspected.discard(target)
+            view.reset_gray(target)
             if target in view.suspicion:
                 view.suspicion[target] = 0
                 view.last_heard[target] = now
         self._first_declared.pop(target, None)
+        self._first_slow.pop(target, None)
+        self._slow.discard(target)
+        self._slow_streak.pop(target, None)
+        self._normal_streak.pop(target, None)
         self._death_events.pop(target, None)
         if self._started:
+            # A crashed rank's emitter/monitor exit at their next tick, but
+            # longer-interval processes (the RTT prober wakes every
+            # ``rtt_probe_every`` periods) can sleep straight through a
+            # short death window — so "all dead" is the wrong relaunch
+            # test.  If *any* process died while the rank was down, restart
+            # the whole set: interrupt the stale survivors and relaunch.
             procs = self._procs.get(target, [])
-            if not any(p.is_alive for p in procs):
+            alive = [p for p in procs if p.is_alive]
+            if len(alive) < len(procs) and self._node_alive(target):
+                for p in alive:
+                    p.interrupt("detector restart")
                 view = self.views[target]
                 for peer in view.last_heard:
                     view.last_heard[peer] = now
@@ -473,23 +625,52 @@ class FailureDetector:
                 return  # heartbeat lost on the lossy fabric
         self._receive_heartbeat(dst, src, gossip_dead)
 
+    def _grace(self, view: _RankView, peer: int) -> float:
+        """Silence tolerated for ``peer`` before a tick counts as a miss.
+
+        Fixed mode: ``miss_grace * period``.  Adaptive mode: the
+        Jacobson/Karels deadline over that peer's observed heartbeat
+        inter-arrival times — additionally floored at ``peak_margin x``
+        the decaying peak gap (loss streaks recur; a survived gap is
+        survivable) — floored at the fixed grace (never twitchier than
+        the legacy detector) and capped at ``max_grace_periods``.
+        """
+        cfg = self.config
+        base = cfg.miss_grace * cfg.period
+        if not cfg.adaptive:
+            return base
+        want = base
+        est = view.intervals.get(peer)
+        if est is not None and est.samples >= 2:
+            want = max(want, est.deadline(cfg.phi),
+                       est.peak * cfg.peak_margin)
+        if self._gap_pool.samples >= 2:
+            want = max(want, self._gap_pool.peak * cfg.peak_margin)
+        return min(want, cfg.max_grace_periods * cfg.period)
+
     def _receive_heartbeat(self, dst: int, src: int,
                            gossip_dead: Tuple[int, ...]) -> None:
         view = self.views[dst]
         now = self.env.now
         if src not in view.dead:
+            if self.config.adaptive:
+                interval = now - view.last_heard.get(src, now)
+                if interval > 0:
+                    est = view.intervals.get(src)
+                    if est is None:
+                        est = view.intervals[src] = RttEstimator()
+                    est.observe(interval)
+                    self._gap_pool.observe(interval)
             view.last_heard[src] = now
-        grace = self.config.miss_grace * self.config.period
         for target in gossip_dead:
             if target == dst or target in view.dead:
                 continue
             # Adopt gossip only when locally corroborated by silence.
-            if now - view.last_heard.get(target, now) > grace:
+            if now - view.last_heard.get(target, now) > self._grace(view, target):
                 self._declare(dst, target, f"gossip from rank {src}")
 
     def _monitor(self, rank: int):
         cfg = self.config
-        grace = cfg.miss_grace * cfg.period
         try:
             while True:
                 yield self.env.timeout(cfg.period)
@@ -502,7 +683,7 @@ class FailureDetector:
                 for peer in list(view.last_heard):
                     if peer in view.dead:
                         continue
-                    if now - view.last_heard[peer] > grace:
+                    if now - view.last_heard[peer] > self._grace(view, peer):
                         view.suspicion[peer] += 1
                         if peer not in view.suspected:
                             view.suspected.add(peer)
@@ -521,3 +702,110 @@ class FailureDetector:
                         self._emit("clear_suspect", rank, peer, "heartbeat resumed")
         except Interrupt:
             return
+
+    # -- RTT probing (gray-failure / straggler detection) ------------------
+    def _prober(self, rank: int):
+        """Round-trip an RTT probe to one live peer per window, round-robin.
+
+        One probe per window (not one per peer) keeps the aggregate probe
+        load O(n) instead of O(n²): with every observer probing every peer
+        each window, the CPU charge on an already-limping node can exceed
+        its remaining capacity and the measurement itself wedges the
+        cluster.  Starting each rank's rotation at its own index staggers
+        the observers so a given target still sees ≈1 probe per window.
+        """
+        cfg = self.config
+        interval = cfg.rtt_probe_every * cfg.period
+        offset = rank
+        try:
+            while True:
+                yield self.env.timeout(interval)
+                if not self._node_alive(rank):
+                    return
+                view = self.views[rank]
+                peers = [
+                    p for p in self.ranks if p != rank and p not in view.dead
+                ]
+                if not peers:
+                    continue
+                peer = peers[offset % len(peers)]
+                offset += 1
+                self.env.process(
+                    self._probe(rank, peer),
+                    name=f"hb-probe:{rank}->{peer}",
+                )
+        except Interrupt:
+            return
+
+    def _probe(self, src: int, dst: int):
+        """One probe round trip: request wire time, target CPU, ack wire time.
+
+        The ack charges ``probe_cpu`` seconds on the target's CPU *through
+        its resource queue* — a limping node both stretches the charge
+        (1/cpu_factor) and queues it behind its slowed application work.
+        The ack carries the benchmark's *self-timed CPU cost* (the standard
+        canary technique: a fixed workload of known nominal cost times
+        itself rusage-style, so the sample isolates the node's execution
+        rate — immune to queueing behind co-mapped threads, yet visible
+        even on an otherwise idle limping node), while the full round-trip
+        time feeds :meth:`rtt_estimate`.
+        """
+        sent_at = self.env.now
+        arrived = yield from self._oob_send(src, dst)
+        if not arrived or not self._node_alive(dst):
+            return
+        node = self.cluster.node(dst)
+        try:
+            yield from node.busy(self.config.probe_cpu)
+        except (FaultError, Interrupt):
+            return  # target crashed/hung mid-ack: no sample
+        service = node.cpu_time_of(self.config.probe_cpu)
+        arrived = yield from self._oob_send(dst, src)
+        if arrived:
+            self._receive_probe_ack(
+                src, dst, self.env.now - sent_at, service
+            )
+
+    def _receive_probe_ack(self, observer: int, target: int,
+                           rtt: float, service: float) -> None:
+        cfg = self.config
+        view = self.views.get(observer)
+        if view is None or not self._node_alive(observer):
+            return
+        if target in view.dead:
+            return
+        est = view.rtt.get(target)
+        if est is None:
+            est = view.rtt[target] = RttEstimator()
+        est.observe(rtt)
+        # Slowness is judged on the benchmark's service time against its
+        # known nominal cost, not on the round trip: wire latency cancels
+        # out, and a drained (idle but still limping) node stays visibly
+        # slow — its 1/cpu_factor stretch alone exceeds the threshold.
+        if service > cfg.slow_factor * cfg.probe_cpu:
+            self._slow_streak[target] = self._slow_streak.get(target, 0) + 1
+            self._normal_streak[target] = 0
+            if (self._slow_streak[target] >= cfg.slow_threshold
+                    and target not in self._slow):
+                self._slow.add(target)
+                self._emit(
+                    "suspect_slow", observer, target,
+                    f"probe served in {service:.3g}s vs nominal "
+                    f"{cfg.probe_cpu:.3g}s",
+                )
+                if target not in self._first_slow:
+                    self._first_slow[target] = (self.env.now, observer)
+        else:
+            self._normal_streak[target] = (
+                self._normal_streak.get(target, 0) + 1
+            )
+            self._slow_streak[target] = 0
+            if (target in self._slow
+                    and self._normal_streak[target]
+                    >= cfg.slow_clear_threshold):
+                self._slow.discard(target)
+                self._emit(
+                    "clear_slow", observer, target,
+                    f"probe served in {service:.3g}s, back at nominal",
+                )
+                self._first_slow.pop(target, None)

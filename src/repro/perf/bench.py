@@ -47,6 +47,7 @@ __all__ = [
     "run_config",
     "run_bench",
     "run_migration_pause",
+    "run_straggler_pause",
     "compute_speedups",
     "compare_to_baseline",
     "write_report",
@@ -341,6 +342,51 @@ def run_migration_pause(
     return {"pause_s": pause, "migrations": migrations}
 
 
+def run_straggler_pause(
+    registry: PerfRegistry,
+    nodes: int = 8,
+    iterations: int = 12,
+) -> Optional[Dict[str, float]]:
+    """Tracked stat, no gate: the simulated pause of one straggler drain.
+
+    Runs the slack-striped FFT2D with one node limping at 0.25x under
+    ``migrate_stragglers`` and records the drain/restore re-striping pause
+    into *registry* as ``runtime.straggler_pause_s`` — virtual seconds,
+    like ``runtime.migration_pause_s`` next to it.  Returns the
+    ``{pause_s, drains}`` summary, or None if no straggler was migrated.
+    """
+    from ..apps import benchmark_mapping, fft2d_slack_model
+    from ..core.codegen import generate_glue
+    from ..core.runtime import DEFAULT_CONFIG, SageRuntime
+    from ..faults import FaultPlan, FaultPolicy
+    from ..machine import Environment, SimCluster, get_platform
+    from .registry import REGISTRY as _GLOBAL
+
+    model = fft2d_slack_model()
+    glue = generate_glue(model, benchmark_mapping(model, nodes),
+                         num_processors=nodes)
+    plan = FaultPlan(seed=72).slow_node(nodes // 2, at=5e-4, factor=0.25)
+    env = Environment()
+    cluster = SimCluster.from_platform(env, get_platform("cspi"), nodes,
+                                       fault_plan=plan)
+    runtime = SageRuntime(glue, cluster,
+                          config=DEFAULT_CONFIG.timing_only(),
+                          fault_policy=FaultPolicy.migrate_stragglers())
+    empty = {"count": 0, "total_s": 0.0}
+    before = _GLOBAL.snapshot()["timers"].get(
+        "runtime.straggler_pause_s", empty)
+    runtime.run(iterations=iterations)
+    after = _GLOBAL.snapshot()["timers"].get(
+        "runtime.straggler_pause_s", empty)
+    drains = after["count"] - before["count"]
+    pause = after["total_s"] - before["total_s"]
+    if drains <= 0:
+        return None
+    registry.record("runtime.straggler_pause_s", pause)
+    registry.count("bench.straggler_drains", drains)
+    return {"pause_s": pause, "drains": drains}
+
+
 def compute_speedups(
     current: Dict[str, Dict[str, float]],
     baseline: Dict[str, Dict[str, float]],
@@ -499,6 +545,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"  migration pause: {pause['pause_s'] * 1e6:.1f} virtual us "
             f"over {pause['migrations']} migration(s) (tracked, no gate)",
+            file=sys.stderr,
+        )
+    straggler = run_straggler_pause(registry)
+    if straggler:
+        print(
+            f"  straggler pause: {straggler['pause_s'] * 1e6:.1f} virtual us "
+            f"over {straggler['drains']} drain(s) (tracked, no gate)",
             file=sys.stderr,
         )
 

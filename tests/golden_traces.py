@@ -26,7 +26,12 @@ import json
 import os
 from typing import Callable, Dict, Optional
 
-from repro.apps import benchmark_mapping, corner_turn_model, fft2d_model
+from repro.apps import (
+    benchmark_mapping,
+    corner_turn_model,
+    fft2d_model,
+    fft2d_slack_model,
+)
 from repro.core.codegen import generate_glue
 from repro.core.runtime import DEFAULT_CONFIG, SageRuntime
 from repro.core.runtime.policy import FaultPolicy
@@ -35,7 +40,13 @@ from repro.machine.faults import FaultPlan
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "golden_traces.json")
 
-_BUILDERS = {"fft2d": fft2d_model, "corner_turn": corner_turn_model}
+_BUILDERS = {
+    "fft2d": fft2d_model,
+    "corner_turn": corner_turn_model,
+    # Striping slack (28 threads > 8 nodes) so a straggler drain re-deals
+    # threads onto under-loaded peers; `nodes` is fixed by the scenario.
+    "fft2d_slack": lambda n, _nodes: fft2d_slack_model(n, 28),
+}
 
 
 def _clean_plan(_nodes: int) -> Optional[FaultPlan]:
@@ -67,6 +78,15 @@ def _rejoin_plan(_nodes: int) -> FaultPlan:
     return plan
 
 
+def _straggler_plan(_nodes: int) -> FaultPlan:
+    """A gray failure that heals: node 3 limps at quarter speed for a few
+    iterations, then recovers; migrate_stragglers drains its threads to the
+    healthy peers and restores them once probes read normal again."""
+    plan = FaultPlan(seed=17)
+    plan.slow_node(3, at=0.0005, factor=0.25, duration=0.008)
+    return plan
+
+
 #: name -> (app, n, nodes, iterations, plan factory, policy factory)
 SCENARIOS: Dict[str, tuple] = {
     "fft2d_4n_clean": ("fft2d", 64, 4, 3, _clean_plan, lambda: None),
@@ -82,6 +102,10 @@ SCENARIOS: Dict[str, tuple] = {
     "fft2d_8n_rejoin_grow": (
         "fft2d", 32, 8, 5, _rejoin_plan,
         lambda: FaultPolicy.grow_restripe(),
+    ),
+    "fft2d_8n_straggler_migrate": (
+        "fft2d_slack", 56, 8, 10, _straggler_plan,
+        lambda: FaultPolicy.migrate_stragglers(),
     ),
 }
 
