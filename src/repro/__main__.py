@@ -10,8 +10,10 @@ analyze      run the SAGE Verifier (lint + schedules + buffers), no execution
 run          load a design document and execute it on a simulated platform
 bench        wall-clock benchmark of the pipeline, writes BENCH_simcore.json
 chaos        randomized chaos soak: seeded fault schedules x fault policies
+serve        multi-job service over a shared cluster; --soak runs the harness
+submit       append one job spec to a batch file for `serve --batch`
 table1 / crossvendor / ablations / atot-study / period-latency
-fault-tolerance / reconfiguration / elasticity / gray-failure
+fault-tolerance / reconfiguration / elasticity / gray-failure / service-soak
              the paper-artifact experiments (see repro.experiments)
 """
 
@@ -187,6 +189,7 @@ _EXPERIMENTS = {
     "reconfiguration": "reconfiguration",
     "elasticity": "elasticity",
     "gray-failure": "gray_failure",
+    "service-soak": "service_soak",
 }
 
 
@@ -207,6 +210,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .chaos.soak import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from .service.cli import submit_main
+
+        return submit_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__.splitlines()[0]
@@ -260,6 +271,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sub.add_parser("bench", help="wall-clock pipeline benchmark (repro.perf.bench)")
     sub.add_parser("chaos", help="randomized chaos soak (repro.chaos.soak)")
+    sub.add_parser("serve", help="multi-job service / soak harness (repro.service)")
+    sub.add_parser("submit", help="append a job spec to a service batch file")
     for name, module in _EXPERIMENTS.items():
         sub.add_parser(name, help=f"experiment: repro.experiments.{module}")
 

@@ -22,7 +22,7 @@ from ...machine.cluster import SimCluster
 from ...machine.faults import FaultError, LinkFailure, NodeFailure, TransientError
 from ...machine.simulator import Environment, Event, Interrupt, Process
 from ...mpi.detector import FailureDetector, HeartbeatConfig
-from ...perf.cache import invalidate_mapping_caches
+from ...perf.cache import cache_scope, invalidate_mapping_caches
 from ...perf.registry import REGISTRY
 from ..codegen.generator import GlueModule
 from ..model.mapping import Mapping, grow_mapping, shrink_mapping
@@ -115,6 +115,7 @@ class SageRuntime:
         bindings: Optional[Dict[str, KernelBinding]] = None,
         trace: Optional[Trace] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        job_scope: Optional[str] = None,
     ):
         if glue.num_processors > len(cluster):
             raise RuntimeError_(
@@ -132,6 +133,11 @@ class SageRuntime:
             self.bindings.update(bindings)
         self.trace = trace if trace is not None else Trace()
         self.fault_policy = fault_policy if fault_policy is not None else FAIL_FAST
+        # The cache scope this run is billed to (a service job id, or None
+        # for standalone runs).  Scoped runs invalidate only entries they
+        # own exclusively, so one tenant's membership change cannot evict
+        # another tenant's cached placements (see repro.perf.cache).
+        self.job_scope = job_scope
         self._live_procs: List[Process] = []
         # Shrinking recovery state: placement overrides installed after a
         # permanent node loss (consulted by processor_of), the processors
@@ -296,15 +302,19 @@ class SageRuntime:
 
         self._start_detector()
         try:
-            if self.fault_policy.checkpoints:
-                return self._run_checkpointed(iterations)
+            # Everything derived during the run (striping plans, collective
+            # schedules) is tagged with the job scope, so the service can
+            # bill cache traffic per job and clear per tenant.
+            with cache_scope(self.job_scope):
+                if self.fault_policy.checkpoints:
+                    return self._run_checkpointed(iterations)
 
-            procs = []
-            for k in range(iterations):
-                procs.extend(self._spawn_iteration(k))
-            done = self.env.all_of(procs)
-            self.env.run(until=done)
-            return self._build_result(iterations)
+                procs = []
+                for k in range(iterations):
+                    procs.extend(self._spawn_iteration(k))
+                done = self.env.all_of(procs)
+                self.env.run(until=done)
+                return self._build_result(iterations)
         finally:
             self._stop_detector()
 
@@ -504,6 +514,18 @@ class SageRuntime:
                 self.detector.clear(node)
                 self._suspect_probed.discard(node)
                 self._dead_probed.discard(node)
+            # A declaration recovery did not act on — the node is alive per
+            # ground truth and stays in membership — is a false positive
+            # (e.g. a total link outage suppressed its heartbeats).  Clear
+            # it so the detector re-earns the verdict over a fresh grace
+            # window; replaying the stale declaration would re-fire at the
+            # same instant and burn the restart budget in zero time.
+            still_down = set(injector.dead_nodes) if injector is not None else set()
+            for node in sorted(self.detector.declared_dead()):
+                if node in self._active_processors and node not in still_down:
+                    self.detector.clear(node)
+                    self._suspect_probed.discard(node)
+                    self._dead_probed.discard(node)
             # Re-arm the detection race; a death declared while this
             # recovery was in progress must not be lost to the fresh event.
             self._detect_event = self.env.event()
@@ -592,7 +614,7 @@ class SageRuntime:
             iteration=k,
         )
         self._update_remote_tables(old_proc, new_map, moved_keys)
-        invalidate_mapping_caches()
+        invalidate_mapping_caches(scope=self.job_scope)
         if self.config.enforce_memory:
             self._check_memory_footprint()
 
@@ -784,7 +806,7 @@ class SageRuntime:
             iteration=k,
         )
         self._update_remote_tables(old_proc, new_map, moved_keys)
-        invalidate_mapping_caches()
+        invalidate_mapping_caches(scope=self.job_scope)
         if self.config.enforce_memory:
             self._check_memory_footprint()
 
@@ -955,7 +977,7 @@ class SageRuntime:
             self._drain_relapse[p] = self._drain_relapse.get(p, -1) + 1
             self._straggler_strikes.pop(p, None)
         self._update_remote_tables(old_proc, new_map, moved_keys)
-        invalidate_mapping_caches()
+        invalidate_mapping_caches(scope=self.job_scope)
         if self.config.enforce_memory:
             self._check_memory_footprint()
 
@@ -1049,7 +1071,7 @@ class SageRuntime:
             self._drained.discard(p)
             self._drain_probation.pop(p, None)
         self._update_remote_tables(old_proc, new_map, moved_keys)
-        invalidate_mapping_caches()
+        invalidate_mapping_caches(scope=self.job_scope)
         if self.config.enforce_memory:
             self._check_memory_footprint()
 

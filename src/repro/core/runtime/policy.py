@@ -215,6 +215,20 @@ class FaultPolicy:
                    straggler_patience=straggler_patience,
                    straggler_probation=straggler_probation)
 
+    @classmethod
+    def named(cls, name: str, **overrides) -> "FaultPolicy":
+        """Build a policy from its mode name (the service's job-spec path).
+
+        ``overrides`` are forwarded to the mode's constructor, so
+        ``FaultPolicy.named("retry", max_retries=5)`` ==
+        ``FaultPolicy.retry(max_retries=5)``.
+        """
+        if name not in POLICY_MODES:
+            raise ValueError(
+                f"unknown fault policy {name!r}; choose from {POLICY_MODES}"
+            )
+        return getattr(cls, name)(**overrides)
+
     @property
     def retries_transfers(self) -> bool:
         return (self.mode in ("retry", "checkpoint_restart",

@@ -64,10 +64,17 @@ class ProbeEvent:
 
 
 class Trace:
-    """An append-only store of probe events with simple query helpers."""
+    """An append-only store of probe events with simple query helpers.
 
-    def __init__(self, enabled: bool = True):
+    ``job`` is the namespace tag a multi-job service stamps on each
+    runtime's trace: probe telemetry re-published on the event bus carries
+    it, so consumers can prove no event of one tenant's run ever appears
+    under another's topic.  Standalone runs leave it empty.
+    """
+
+    def __init__(self, enabled: bool = True, job: str = ""):
         self.enabled = enabled
+        self.job = job
         self.events: List[ProbeEvent] = []
 
     def record(self, event: ProbeEvent) -> None:
@@ -108,6 +115,40 @@ class Trace:
             return 0.0
         times = [e.time for e in self.events]
         return max(times) - min(times)
+
+    def counts_by_kind(self) -> dict:
+        """Event count per probe kind (only kinds that occurred)."""
+        out: dict = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    # -- canonical form --------------------------------------------------
+    def canonical(self) -> str:
+        """Byte-exact rendering, one event per line.
+
+        The field order and ``repr`` float rendering match the golden-trace
+        harness (``tests/golden_traces.py``), so digests computed here are
+        directly comparable across harnesses — the service's isolation
+        invariant hinges on that: a job run through the scheduler must
+        digest identically to the same spec run standalone.  The ``job``
+        tag is deliberately excluded: it names where the trace was
+        recorded, not what happened on the virtual timeline.
+        """
+        return "\n".join(
+            "|".join((
+                repr(e.time), e.kind, e.function, str(e.function_id),
+                str(e.thread), str(e.processor), str(e.iteration),
+                e.detail, str(e.nbytes),
+            ))
+            for e in self.events
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`canonical` — the trace's identity."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
 
     def __len__(self):
         return len(self.events)

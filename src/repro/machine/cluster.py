@@ -149,6 +149,33 @@ class SimCluster:
         # back into the same chassis position unless add_node overrides it.
         return dropped
 
+    # -- slot leasing (service layer) -----------------------------------
+    def acquire_slot(self, index: int) -> None:
+        """Hold the node's CPU slot on behalf of a lease.
+
+        The service's :class:`~repro.service.scheduler.ClusterScheduler`
+        accounts leases through the same :class:`Resource` that serialises
+        simulated work, so the chaos leak checks (every slot back to zero,
+        nobody queued) apply to the service unchanged.  A lease must only
+        ever take a *free* slot — double-leasing a node is a scheduler bug
+        and raises instead of queueing.
+        """
+        node = self.node(index)
+        if node.cpu.count >= node.cpu.capacity:
+            raise ValueError(
+                f"node {index} CPU slot already held; leases must be disjoint"
+            )
+        node.cpu.request()  # free slot: grants synchronously
+
+    def release_slot(self, index: int) -> None:
+        """Return a leased node's CPU slot to the free state."""
+        self.node(index).cpu.release()
+
+    def slot_census(self) -> Dict[int, int]:
+        """Held-slot count per node index, for leak assertions (a clean
+        service leaves this all-zero)."""
+        return {node.index: node.cpu.count for node in self.nodes}
+
     def node(self, index: int) -> SimNode:
         try:
             return self.nodes[index]

@@ -21,7 +21,15 @@ Three small pieces keep the simulation hot path fast and honest:
 See ``docs/PERFORMANCE.md`` for the full story.
 """
 
-from .cache import KeyedCache, cache_stats, clear_all_caches, named_cache
+from .cache import (
+    KeyedCache,
+    cache_scope,
+    cache_stats,
+    clear_all_caches,
+    current_scope,
+    forget_scope,
+    named_cache,
+)
 from .registry import PerfRegistry, REGISTRY
 
 __all__ = [
@@ -29,6 +37,9 @@ __all__ = [
     "named_cache",
     "clear_all_caches",
     "cache_stats",
+    "cache_scope",
+    "current_scope",
+    "forget_scope",
     "PerfRegistry",
     "REGISTRY",
 ]

@@ -47,6 +47,7 @@ __all__ = [
     "run_config",
     "run_bench",
     "run_migration_pause",
+    "run_service_soak",
     "run_straggler_pause",
     "compute_speedups",
     "compare_to_baseline",
@@ -387,6 +388,36 @@ def run_straggler_pause(
     return {"pause_s": pause, "drains": drains}
 
 
+def run_service_soak(
+    registry: PerfRegistry,
+    jobs: int = 150,
+    seed: int = 7,
+    nodes: int = 8,
+) -> Optional[Dict[str, float]]:
+    """Tracked stat, no gate: multi-job service throughput under soak.
+
+    Plays a seeded mixed workload through the service scheduler
+    (:mod:`repro.service.soak`, invariant checks skipped — the full gate
+    lives in ``python -m repro serve --soak``) and records the headline
+    designs-compiled-and-simulated per host second into *registry* as
+    ``service.jobs`` / ``service.soak_s``.  Returns the
+    ``{jobs_per_sec, executed, completed}`` summary.
+    """
+    from ..service.soak import run_soak
+
+    report = run_soak(jobs=jobs, seed=seed, nodes=nodes,
+                      replay=False, isolation=False)
+    executed = report.completed + report.failed
+    registry.record("service.soak_s", report.wall_seconds)
+    registry.count("service.jobs", executed)
+    registry.count("service.backfills", report.backfills)
+    return {
+        "jobs_per_sec": report.jobs_per_sec,
+        "executed": executed,
+        "completed": report.completed,
+    }
+
+
 def compute_speedups(
     current: Dict[str, Dict[str, float]],
     baseline: Dict[str, Dict[str, float]],
@@ -552,6 +583,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"  straggler pause: {straggler['pause_s'] * 1e6:.1f} virtual us "
             f"over {straggler['drains']} drain(s) (tracked, no gate)",
+            file=sys.stderr,
+        )
+    service = run_service_soak(registry, jobs=40 if args.quick else 150)
+    if service:
+        print(
+            f"  service soak: {service['jobs_per_sec']:.1f} jobs/sec "
+            f"({service['executed']} executed) (tracked, no gate)",
             file=sys.stderr,
         )
 

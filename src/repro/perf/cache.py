@@ -20,17 +20,35 @@ for tests that must measure cold-path behaviour:
 
 Caches are bounded (FIFO eviction) so pathological key churn cannot grow
 memory without limit.
+
+Job scoping
+-----------
+The registry is process-wide, which is exactly right for throughput — two
+jobs submitting the same design share one generated glue — but wrong for
+*invalidation* in a multi-tenant service: one job clearing "its" caches must
+not evict artifacts other live jobs are using.  Entries therefore carry an
+**owner set**: while a :func:`cache_scope` is active (the service enters one
+per job, keyed by job id), every entry the job touches is tagged with that
+scope.  A scoped clear (``clear_all_caches(scope=...)``,
+``invalidate_mapping_caches(scope=...)``) evicts only entries owned *solely*
+by that scope and merely detaches the scope from shared entries; an unscoped
+clear keeps its historical drop-everything behaviour.  ``cache_stats(scope)``
+reports the per-scope hit/miss split the service bills to each job.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set
 
 __all__ = [
     "KeyedCache",
     "named_cache",
     "clear_all_caches",
     "cache_stats",
+    "cache_scope",
+    "current_scope",
+    "forget_scope",
     "MAPPING_SCOPED_CACHES",
     "invalidate_mapping_caches",
 ]
@@ -52,11 +70,39 @@ MAPPING_SCOPED_CACHES = (
     "codegen.glue_code",
 )
 
+#: Active scope stack (innermost last).  Plain module state, not a
+#: contextvar: the simulator is single-threaded by design and the service
+#: enters exactly one scope per job execution.
+_SCOPE_STACK: List[str] = []
+
+
+def current_scope() -> Optional[str]:
+    """The innermost active cache scope (job id), or None outside any."""
+    return _SCOPE_STACK[-1] if _SCOPE_STACK else None
+
+
+@contextmanager
+def cache_scope(name: Optional[str]):
+    """Tag every cache access inside the block as owned by ``name``.
+
+    ``None`` is a pass-through (standalone runs stay unscoped), so call
+    sites can thread an optional job id without branching.
+    """
+    if name is None:
+        yield
+        return
+    _SCOPE_STACK.append(name)
+    try:
+        yield
+    finally:
+        _SCOPE_STACK.pop()
+
 
 class KeyedCache:
     """A small keyed memo table with hit/miss stats and FIFO eviction."""
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+    __slots__ = ("name", "maxsize", "hits", "misses", "_data", "_owners",
+                 "_scope_stats")
 
     def __init__(self, name: str, maxsize: int = 1024):
         self.name = name
@@ -64,18 +110,61 @@ class KeyedCache:
         self.hits = 0
         self.misses = 0
         self._data: Dict[Hashable, Any] = {}
+        # key -> scopes that have touched it; keys touched only by
+        # unscoped callers carry no entry (they are global property).
+        self._owners: Dict[Hashable, Set[str]] = {}
+        # scope -> [hits, misses] while that scope was active.
+        self._scope_stats: Dict[str, List[int]] = {}
 
+    # -- scope bookkeeping ----------------------------------------------
+    def _tag(self, key: Hashable, hit: bool) -> None:
+        scope = current_scope()
+        if scope is None:
+            return
+        stats = self._scope_stats.get(scope)
+        if stats is None:
+            stats = self._scope_stats[scope] = [0, 0]
+        stats[0 if hit else 1] += 1
+        owners = self._owners.get(key)
+        if owners is None:
+            if hit:
+                # The entry pre-exists with no owner: it is global property
+                # (inserted unscoped, or its inserters all finished).  A
+                # scoped hit must not re-privatise it — ownership comes
+                # from insertion, never from use.
+                return
+            owners = self._owners[key] = set()
+        owners.add(scope)
+
+    def _count_miss(self) -> None:
+        # A miss with no insertion (lookup default) still bills the scope.
+        scope = current_scope()
+        if scope is None:
+            return
+        stats = self._scope_stats.get(scope)
+        if stats is None:
+            stats = self._scope_stats[scope] = [0, 0]
+        stats[1] += 1
+
+    def _evict_oldest(self) -> None:
+        key = next(iter(self._data))
+        del self._data[key]
+        self._owners.pop(key, None)
+
+    # -- access ----------------------------------------------------------
     def get(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing on miss."""
         data = self._data
         if key in data:
             self.hits += 1
+            self._tag(key, hit=True)
             return data[key]
         self.misses += 1
         value = compute()
         if len(data) >= self.maxsize:
-            data.pop(next(iter(data)))
+            self._evict_oldest()
         data[key] = value
+        self._tag(key, hit=False)
         return value
 
     def lookup(self, key: Hashable, default: Any = None) -> Any:
@@ -83,19 +172,68 @@ class KeyedCache:
         step doesn't fit in a closure."""
         if key in self._data:
             self.hits += 1
+            self._tag(key, hit=True)
             return self._data[key]
         self.misses += 1
+        self._count_miss()
         return default
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store a value computed outside :meth:`get`."""
         data = self._data
         if key not in data and len(data) >= self.maxsize:
-            data.pop(next(iter(data)))
+            self._evict_oldest()
+        existed = key in data
         data[key] = value
+        scope = current_scope()
+        if scope is not None:
+            owners = self._owners.get(key)
+            if owners is None:
+                if existed:
+                    return  # overwrote a global entry: stays global
+                owners = self._owners[key] = set()
+            owners.add(scope)
 
-    def clear(self) -> None:
-        self._data.clear()
+    def clear(self, scope: Optional[str] = None) -> int:
+        """Drop entries; returns the number evicted.
+
+        Unscoped (``scope=None``): everything goes — the historical
+        process-global hammer.  Scoped: only entries owned *solely* by
+        ``scope`` are evicted; entries shared with other scopes (or global,
+        unscoped entries) survive and merely lose the ``scope`` tag, so one
+        tenant's clear can never evict another tenant's glue.
+        """
+        if scope is None:
+            evicted = len(self._data)
+            self._data.clear()
+            self._owners.clear()
+            return evicted
+        evicted = 0
+        for key in list(self._data):
+            owners = self._owners.get(key)
+            if owners is None or scope not in owners:
+                continue
+            owners.discard(scope)
+            if not owners:
+                del self._data[key]
+                del self._owners[key]
+                evicted += 1
+        return evicted
+
+    def forget_scope(self, scope: str) -> None:
+        """Detach ``scope`` from all bookkeeping without evicting anything.
+
+        Called when a job completes: its artifacts become shared property
+        (later jobs may still hit them) and the per-scope stats row is
+        dropped, so a long-running service's owner sets stay bounded by the
+        number of *live* jobs, not of all jobs ever run.
+        """
+        for key in list(self._owners):
+            owners = self._owners[key]
+            owners.discard(scope)
+            if not owners:
+                del self._owners[key]
+        self._scope_stats.pop(scope, None)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -103,8 +241,13 @@ class KeyedCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
-    def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+    def stats(self, scope: Optional[str] = None) -> Dict[str, int]:
+        if scope is None:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._data)}
+        row = self._scope_stats.get(scope, (0, 0))
+        owned = sum(1 for owners in self._owners.values() if scope in owners)
+        return {"hits": row[0], "misses": row[1], "size": owned}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -124,31 +267,45 @@ def named_cache(name: str, maxsize: int = 1024) -> KeyedCache:
     return cache
 
 
-def clear_all_caches() -> int:
-    """Drop every registered cache; returns the number of entries evicted."""
+def clear_all_caches(scope: Optional[str] = None) -> int:
+    """Drop every registered cache; returns the number of entries evicted.
+
+    With ``scope`` given, only that scope's *exclusively owned* entries are
+    evicted (see :meth:`KeyedCache.clear`) — the multi-tenant-safe form.
+    """
     evicted = 0
     for cache in _REGISTRY.values():
-        evicted += len(cache)
-        cache.clear()
+        evicted += cache.clear(scope)
     return evicted
 
 
-def invalidate_mapping_caches() -> int:
+def invalidate_mapping_caches(scope: Optional[str] = None) -> int:
     """Drop every mapping-scoped cache (see :data:`MAPPING_SCOPED_CACHES`).
 
     Called by the run-time kernel whenever cluster membership changes —
     after a shrink re-stripes onto survivors and after a grow migrates back
-    onto replacements.  Returns the number of entries evicted.
+    onto replacements.  Returns the number of entries evicted.  A runtime
+    executing under a service job scope passes that scope so its membership
+    change cannot evict placements other tenants' jobs still share.
     """
     evicted = 0
     for name in MAPPING_SCOPED_CACHES:
         cache = _REGISTRY.get(name)
         if cache is not None:
-            evicted += len(cache)
-            cache.clear()
+            evicted += cache.clear(scope)
     return evicted
 
 
-def cache_stats() -> Dict[str, Dict[str, int]]:
-    """Per-cache ``{hits, misses, size}``, keyed by cache name."""
-    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+def forget_scope(scope: str) -> None:
+    """Detach a finished job's scope from every cache (no eviction)."""
+    for cache in _REGISTRY.values():
+        cache.forget_scope(scope)
+
+
+def cache_stats(scope: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+    """Per-cache ``{hits, misses, size}``, keyed by cache name.
+
+    With ``scope`` given, the figures are that scope's own traffic and the
+    number of entries it (co-)owns — the per-job view the service reports.
+    """
+    return {name: cache.stats(scope) for name, cache in sorted(_REGISTRY.items())}

@@ -1,0 +1,193 @@
+"""``python -m repro serve`` / ``python -m repro submit``.
+
+``submit`` is the batch front door: it validates one :class:`JobSpec` and
+appends it to a batch file (creating it on first use).  ``serve --batch``
+then stands up a :class:`SageService`, plays the whole batch through the
+scheduler, and prints per-job outcomes.  ``serve --soak`` runs the
+soak-test harness instead (see :mod:`repro.service.soak`) and merges its
+report — headline stat: jobs/sec against the embedded baseline — into
+``BENCH_simcore.json``; its exit code is the CI gate (non-zero on any
+invariant violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .errors import ServiceError
+from .jobs import JobSpec
+from .soak import SERVICE_BASELINE, run_soak
+
+__all__ = ["serve_main", "submit_main"]
+
+
+def _load_batch(path: str) -> List[dict]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    jobs = doc["jobs"] if isinstance(doc, dict) else doc
+    if not isinstance(jobs, list):
+        raise ValueError(f"{path}: expected a list of job specs")
+    return jobs
+
+
+def _merge_bench_report(path: str, section: dict) -> None:
+    """Install the soak report as the ``service`` section of the bench
+    document, preserving everything the bench harness wrote there."""
+    doc: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    if not isinstance(doc, dict):
+        doc = {}
+    doc["service"] = section
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def _run_batch(args) -> int:
+    from .service import SageService
+
+    entries = _load_batch(args.batch)
+    svc = SageService(nodes=args.nodes, seed=args.seed)
+    ids = []
+    for i, entry in enumerate(entries):
+        entry = dict(entry)
+        at = entry.pop("at", None)
+        try:
+            spec = JobSpec.from_dict(entry)
+            ids.append((svc.submit(spec, at=at), spec))
+        except (ServiceError, ValueError) as exc:
+            print(f"  entry {i}: rejected at submit — "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+    stats = svc.run()
+    print(f"{'job':<8s}{'tenant':<10s}{'app':<13s}{'state':<11s}"
+          f"{'nodes':<14s}{'makespan':>10s}")
+    for job_id, spec in ids:
+        job = svc.job(job_id)
+        makespan = f"{job.result.makespan:.6f}" if job.result else "-"
+        print(f"{job_id:<8s}{spec.tenant:<10s}{spec.app:<13s}"
+              f"{job.state:<11s}{str(list(job.lease_nodes)):<14s}"
+              f"{makespan:>10s}")
+    print(f"\n{stats.completed} completed, {stats.failed} failed, "
+          f"{stats.rejected} rejected; utilization "
+          f"{stats.utilization:.2f}, {stats.jobs_per_sec:.1f} jobs/sec")
+    violations = svc.check_clean()
+    for v in violations:
+        print(f"VIOLATION: {v}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def _run_soak(args) -> int:
+    report = run_soak(
+        jobs=args.jobs,
+        seed=args.seed,
+        nodes=args.nodes,
+        replay=not args.no_replay,
+        isolation=not args.no_isolation,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    section = report.to_dict()
+    base = SERVICE_BASELINE["jobs_per_sec"]
+    if base:
+        section["jobs_per_sec_vs_baseline"] = report.jobs_per_sec / base
+    _merge_bench_report(args.output, section)
+    print(f"wrote service section to {args.output}", file=sys.stderr)
+    print(json.dumps(section, indent=1))
+    if not report.ok:
+        for line in report.violations[:20]:
+            print(f"VIOLATION: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="run the multi-job SAGE service over one shared "
+                    "simulated cluster (batch mode or soak mode)",
+    )
+    parser.add_argument("--batch", help="batch file of job specs to play "
+                                        "(see `python -m repro submit`)")
+    parser.add_argument("--soak", action="store_true",
+                        help="run the soak harness + five invariants")
+    parser.add_argument("--jobs", type=int, default=1000,
+                        help="soak job count (default 1000)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload + scheduler tie-break seed")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="shared cluster size (default 8)")
+    parser.add_argument("--no-replay", action="store_true",
+                        help="soak: skip the determinism replay invariant")
+    parser.add_argument("--no-isolation", action="store_true",
+                        help="soak: skip the standalone-isolation invariant")
+    parser.add_argument("-o", "--output", default="BENCH_simcore.json",
+                        help="bench document to merge the soak report into")
+    args = parser.parse_args(argv)
+    if args.soak:
+        return _run_soak(args)
+    if args.batch:
+        return _run_batch(args)
+    parser.error("nothing to do: pass --batch FILE or --soak")
+    return 2
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="validate one job spec and append it to a batch file "
+                    "for `python -m repro serve --batch`",
+    )
+    parser.add_argument("--batch", default="batch.json",
+                        help="batch file to append to (default batch.json)")
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--app", default="fft2d",
+                        help="fft2d | corner_turn")
+    parser.add_argument("--size", type=int, default=32)
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument("--policy", default="fail_fast")
+    parser.add_argument("--data-seed", type=int, default=1234)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="virtual-time lease budget (default 5.0)")
+    parser.add_argument("--at", type=float, default=None,
+                        help="virtual arrival time inside the batch")
+    args = parser.parse_args(argv)
+
+    kw = dict(
+        tenant=args.tenant, app=args.app, size=args.size, nodes=args.nodes,
+        iterations=args.iterations, policy=args.policy,
+        data_seed=args.data_seed,
+    )
+    if args.budget is not None:
+        kw["time_budget"] = args.budget
+    try:
+        spec = JobSpec(**kw)
+        spec.validate()
+    except ServiceError as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+
+    entries = []
+    if os.path.exists(args.batch):
+        entries = _load_batch(args.batch)
+    entry = spec.to_dict()
+    if args.at is not None:
+        entry["at"] = args.at
+    entries.append(entry)
+    with open(args.batch, "w") as fh:
+        json.dump({"jobs": entries}, fh, indent=1)
+        fh.write("\n")
+    print(f"queued as entry {len(entries) - 1} in {args.batch} "
+          f"({spec.fingerprint()})")
+    return 0

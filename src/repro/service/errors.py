@@ -1,0 +1,78 @@
+"""Typed service errors.
+
+Every rejection the service can issue has a distinct exception type so
+tenants (and tests) dispatch on *type*, never on message text.  All of them
+derive from :class:`ServiceError`; the ones a malformed submission can
+trigger also derive from :class:`ValueError` so argument-validation idioms
+keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "InvalidJobSpec",
+    "AdmissionError",
+    "QuotaExceededError",
+    "TimeBudgetExceeded",
+    "UnknownJobError",
+    "JobFailedError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for every error the SAGE service raises."""
+
+
+class InvalidJobSpec(ServiceError, ValueError):
+    """The submission itself is malformed (unknown app, bad sizes, ...)."""
+
+
+class AdmissionError(ServiceError):
+    """The request can never be admitted on this cluster (e.g. it asks for
+    more nodes than the machine has) — resubmit with different options."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant limit was hit: queue depth, concurrent nodes, or a single
+    request larger than the tenant's node quota.
+
+    ``kind`` says which limit: ``"queued"``, ``"nodes"``, or ``"running"``.
+    """
+
+    def __init__(self, tenant: str, kind: str, limit: int, requested: int):
+        self.tenant = tenant
+        self.kind = kind
+        self.limit = limit
+        self.requested = requested
+        super().__init__(
+            f"tenant {tenant!r} over {kind} quota: "
+            f"requested {requested}, limit {limit}"
+        )
+
+
+class TimeBudgetExceeded(ServiceError):
+    """The job's simulated run overran its declared time budget and its
+    lease was terminated at the budget boundary."""
+
+    def __init__(self, job_id: str, budget: float, makespan: float):
+        self.job_id = job_id
+        self.budget = budget
+        self.makespan = makespan
+        super().__init__(
+            f"job {job_id} exceeded its time budget: needed "
+            f"{makespan:.6f}s of a {budget:.6f}s lease"
+        )
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with that id was ever submitted to this service."""
+
+
+class JobFailedError(ServiceError):
+    """The job aborted on the simulated machine; carries the cause."""
+
+    def __init__(self, job_id: str, cause: str):
+        self.job_id = job_id
+        self.cause = cause
+        super().__init__(f"job {job_id} failed: {cause}")

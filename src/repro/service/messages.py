@@ -1,0 +1,133 @@
+"""Bus message model: topics, kinds, and the canonical wire rendering.
+
+The service's :class:`~repro.service.bus.EventBus` follows the classic
+topics / subscriptions / messages split: a *topic* is a dot-separated path
+(``job.j0003.lifecycle``, ``scheduler.lease``), a *message* is an immutable
+record stamped with a bus-global sequence number and the service's virtual
+time, and subscribers match topics with single-segment (``*``) or
+tail (``#``) wildcards.
+
+Determinism is a first-class requirement here: the scheduler-determinism
+invariant is checked by hashing the *canonical rendering* of the whole
+message stream (:meth:`BusMessage.canonical`), so two service instances fed
+the same submissions with the same seed must produce byte-identical
+streams.  Payload values are therefore restricted to primitives (str, int,
+float, bool, None, and flat tuples thereof) whose ``repr`` round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Tuple
+
+__all__ = [
+    "BusMessage",
+    "job_topic",
+    "topic_matches",
+    "TOPIC_QUEUE",
+    "TOPIC_LEASES",
+    "LIFECYCLE_KINDS",
+]
+
+#: Queue-level events: a submission entering (or bouncing off) the queue.
+TOPIC_QUEUE = "queue"
+#: Scheduler lease events: grants (FIFO or backfill) and releases.
+TOPIC_LEASES = "scheduler.lease"
+
+#: The job lifecycle in its legal order.  ``rejected`` replaces the whole
+#: tail for submissions that never reach the cluster; ``failed`` replaces
+#: ``completed`` for jobs that died on the machine (or overran their
+#: time budget).
+LIFECYCLE_KINDS = (
+    "submitted", "rejected", "admitted", "started", "completed", "failed",
+    "released",
+)
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def job_topic(job_id: str, channel: str = "lifecycle") -> str:
+    """Topic for one job's event stream: ``job.<id>.lifecycle|probes``."""
+    return f"job.{job_id}.{channel}"
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Dot-segment matching: ``*`` is one segment, a trailing ``#`` is any
+    tail (including none).  Patterns with no wildcard are exact matches."""
+    if pattern == topic:
+        return True
+    pparts = pattern.split(".")
+    tparts = topic.split(".")
+    for i, p in enumerate(pparts):
+        if p == "#":
+            return True
+        if i >= len(tparts):
+            return False
+        if p != "*" and p != tparts[i]:
+            return False
+    return len(pparts) == len(tparts)
+
+
+def _check_value(key: str, value: Any) -> Any:
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, tuple):
+        for item in value:
+            if not isinstance(item, _PRIMITIVES):
+                raise TypeError(
+                    f"payload field {key!r}: tuple items must be primitives, "
+                    f"got {type(item).__name__}"
+                )
+        return value
+    if isinstance(value, list):
+        return _check_value(key, tuple(value))
+    raise TypeError(
+        f"payload field {key!r}: bus payloads are primitives or flat tuples "
+        f"(canonical rendering must be exact), got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class BusMessage:
+    """One published record: ``(seq, time, topic, kind, payload)``.
+
+    ``seq`` is assigned by the bus and is globally monotonic, so the full
+    stream has one deterministic total order.  ``time`` is the service's
+    *virtual* clock — wall-clock never appears in a message, which is what
+    makes replay digests byte-stable.
+    """
+
+    seq: int
+    time: float
+    topic: str
+    kind: str
+    payload: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(cls, seq: int, time: float, topic: str, kind: str,
+             payload: Dict[str, Any]) -> "BusMessage":
+        items = tuple(
+            (k, _check_value(k, v)) for k, v in sorted(payload.items())
+        )
+        return cls(seq=seq, time=time, topic=topic, kind=kind, payload=items)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def payload_dict(self) -> Dict[str, Any]:
+        return dict(self.payload)
+
+    def canonical(self) -> str:
+        """Byte-exact one-line rendering (``repr`` pins floats to the bit)."""
+        fields = ",".join(f"{k}={v!r}" for k, v in self.payload)
+        return f"{self.seq}|{self.time!r}|{self.topic}|{self.kind}|{fields}"
+
+
+def canonical_stream(messages: Iterable[BusMessage]) -> str:
+    """The canonical rendering of a whole stream, one message per line."""
+    return "\n".join(m.canonical() for m in messages)

@@ -1,0 +1,386 @@
+"""SAGE-as-a-service: the long-running multi-job front end.
+
+One :class:`SageService` owns a shared simulated cluster and multiplexes
+many submitted designs onto it:
+
+* :meth:`submit` is the async API — it validates, schedules the arrival,
+  and returns a job id immediately; completion is observed through the
+  :class:`~repro.service.bus.EventBus` (or :meth:`result` after
+  :meth:`run`).
+* The :class:`~repro.service.scheduler.ClusterScheduler` decides *when* and
+  *where*: node-set leases with admission control, per-tenant quotas, FIFO
+  order with conservative backfill, and seeded tie-breaks.
+* Every lifecycle step publishes to the bus, and each finished job's probe
+  telemetry is re-published under its own topic
+  (``job.<id>.probes``) — consumers read the bus, never the runtimes.
+
+Execution model (space-sharing)
+-------------------------------
+The shared cluster is the *allocation* substrate: a lease exclusively holds
+one CPU slot per leased node, in the service's own virtual timeline.  The
+job's computation itself runs at full fidelity on its partition — a private
+:class:`~repro.machine.simulator.Environment` over ``spec.nodes`` processors
+of the same platform — exactly as a standalone ``python -m repro run``
+would.  Partitions are disjoint (the paper-era machines' crossbars
+partition per board-set), so a job's virtual behaviour is *bitwise
+identical* to its standalone run no matter what else is scheduled around
+it; the soak harness proves that instead of assuming it, because shared
+process state (caches, registries) is exactly where isolation regressions
+would creep in.  The job's simulated makespan then becomes its lease
+duration on the shared timeline, clipped to the spec's ``time_budget``
+(overruns are terminated with a typed error — the bound that makes
+conservative backfill starvation-free).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..apps import benchmark_mapping
+from ..core.codegen import generate_glue
+from ..core.runtime import DEFAULT_CONFIG, SageRuntime
+from ..core.runtime.policy import FaultPolicy
+from ..core.runtime.probes import Trace
+from ..machine import Environment, SimCluster, get_platform
+from ..perf.cache import cache_scope, cache_stats, forget_scope
+from .bus import EventBus
+from .errors import (
+    JobFailedError,
+    TimeBudgetExceeded,
+    UnknownJobError,
+)
+from .jobs import Job, JobQueue, JobResult, JobSpec
+from .messages import TOPIC_LEASES, TOPIC_QUEUE, job_topic
+from .scheduler import ClusterScheduler, Lease, TenantQuota
+
+__all__ = ["SageService", "ServiceStats", "run_standalone"]
+
+
+def run_standalone(spec: JobSpec, platform: str = "cspi"):
+    """Execute a spec exactly as the service does, but alone: a private
+    ``spec.nodes``-node cluster, no scheduler, no scopes.  The isolation
+    invariant compares service runs against this reference."""
+    spec.validate()
+    model = spec.build_model()
+    mapping = benchmark_mapping(model, spec.nodes)
+    glue = generate_glue(model, mapping, num_processors=spec.nodes)
+    env = Environment()
+    cluster = SimCluster.from_platform(env, get_platform(platform), spec.nodes)
+    runtime = SageRuntime(
+        glue, cluster, config=DEFAULT_CONFIG.timing_only(),
+        fault_policy=FaultPolicy.named(spec.policy),
+    )
+    result = runtime.run(iterations=spec.iterations)
+    return result, env.events_processed
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate figures for one service run (virtual + host time)."""
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    pending: int
+    backfills: int
+    virtual_span: float
+    utilization: float
+    mean_wait: float
+    max_wait: float
+    executed: int
+    wall_seconds: float
+
+    @property
+    def jobs_per_sec(self) -> float:
+        """Sustained designs-compiled-and-simulated per host second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.executed / self.wall_seconds
+
+
+class SageService:
+    """A job queue + scheduler + bus over one shared simulated cluster."""
+
+    def __init__(
+        self,
+        nodes: int = 8,
+        platform: str = "cspi",
+        seed: int = 0,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        self.platform_name = platform
+        self.platform = get_platform(platform)
+        self.env = Environment()
+        self.cluster = SimCluster.from_platform(self.env, self.platform, nodes)
+        self.bus = bus if bus is not None else EventBus()
+        self.scheduler = ClusterScheduler(
+            self.cluster, seed=seed,
+            default_quota=default_quota, quotas=quotas,
+        )
+        self.queue = JobQueue(max_queued=self.scheduler.max_queued)
+        self.jobs: Dict[str, Job] = {}
+        self.now = 0.0
+        self.wall_seconds = 0.0
+        self.executed = 0
+        self._heap: List[Tuple[float, int, str, Job]] = []
+        self._evseq = 0
+        self._idseq = 0
+
+    # -- submission (the async API) --------------------------------------
+    def submit(self, spec: JobSpec, at: Optional[float] = None) -> str:
+        """Validate and enqueue a submission; returns its job id.
+
+        Raises the typed errors for requests that can never run here
+        (:class:`InvalidJobSpec`, :class:`AdmissionError`,
+        :class:`QuotaExceededError` on a single request larger than the
+        tenant's node quota).  Arrival-time rejections (queue depth) are
+        recorded on the job and re-raised by :meth:`result`.
+        """
+        spec.validate()
+        self.scheduler.check_request(spec)
+        job = Job(id=f"j{self._idseq:05d}", spec=spec)
+        self._idseq += 1
+        self.jobs[job.id] = job
+        arrival = self.now if at is None else max(at, self.now)
+        job.submit_time = arrival
+        self._push(arrival, "arrive", job)
+        return job.id
+
+    def submit_batch(self, specs, start: float = 0.0,
+                     spacing: float = 0.0) -> List[str]:
+        """Submit many specs at ``start``, ``spacing`` apart (FIFO order)."""
+        ids = []
+        at = start
+        for spec in specs:
+            ids.append(self.submit(spec, at=at))
+            at += spacing
+        return ids
+
+    # -- the event loop ---------------------------------------------------
+    def _push(self, when: float, kind: str, job: Job) -> None:
+        heapq.heappush(self._heap, (when, self._evseq, kind, job))
+        self._evseq += 1
+
+    def run(self) -> ServiceStats:
+        """Drain the event loop: admit, execute, and complete every job.
+
+        Deterministic: events are ordered by (virtual time, push sequence),
+        and the only randomness is the scheduler's seeded tie-break stream.
+        Returns the aggregate stats; individual outcomes via
+        :meth:`result` / the bus.
+        """
+        t0 = _time.perf_counter()
+        while self._heap:
+            when, _, kind, job = heapq.heappop(self._heap)
+            self.now = max(self.now, when)
+            if kind == "arrive":
+                self._arrive(job)
+            elif kind == "release":
+                self._release(job)
+            self.scheduler.pump(self.queue, self.now, self._execute)
+        self.wall_seconds += _time.perf_counter() - t0
+        return self.stats()
+
+    def _arrive(self, job: Job) -> None:
+        spec = job.spec
+        try:
+            self.queue.enqueue(job)
+        except Exception as exc:
+            job.state = "rejected"
+            job.error = exc
+            job.end_time = self.now
+            self.bus.publish(
+                TOPIC_QUEUE, "rejected", time=self.now, job=job.id,
+                tenant=spec.tenant, error=type(exc).__name__,
+            )
+            self.bus.publish(
+                job_topic(job.id), "rejected", time=self.now, job=job.id,
+                tenant=spec.tenant, error=type(exc).__name__, reason=str(exc),
+            )
+            return
+        self.bus.publish(
+            TOPIC_QUEUE, "enqueued", time=self.now, job=job.id,
+            tenant=spec.tenant, app=spec.app, nodes=spec.nodes,
+        )
+        self.bus.publish(
+            job_topic(job.id), "submitted", time=self.now, job=job.id,
+            tenant=spec.tenant, app=spec.app, size=spec.size,
+            nodes=spec.nodes, iterations=spec.iterations,
+        )
+
+    def _execute(self, job: Job, lease: Lease) -> float:
+        """Scheduler callback: run the admitted job, return its lease end."""
+        spec = job.spec
+        job.state = "running"
+        job.start_time = self.now
+        job.lease_nodes = lease.nodes
+        job.backfilled = lease.backfilled
+        self.bus.publish(
+            TOPIC_LEASES, "granted", time=self.now, job=job.id,
+            tenant=spec.tenant, nodes=lease.nodes,
+            backfilled=lease.backfilled,
+        )
+        self.bus.publish(
+            job_topic(job.id), "started", time=self.now, job=job.id,
+            tenant=spec.tenant, nodes=lease.nodes,
+            backfilled=lease.backfilled,
+        )
+        self.executed += 1
+        try:
+            with cache_scope(job.id):
+                model = spec.build_model()
+                mapping = benchmark_mapping(model, spec.nodes)
+                glue = generate_glue(model, mapping, num_processors=spec.nodes)
+                env = Environment()
+                cluster = SimCluster.from_platform(
+                    env, self.platform, spec.nodes
+                )
+                runtime = SageRuntime(
+                    glue, cluster, config=DEFAULT_CONFIG.timing_only(),
+                    fault_policy=FaultPolicy.named(spec.policy),
+                    trace=Trace(job=job.id), job_scope=job.id,
+                )
+                result = runtime.run(iterations=spec.iterations)
+        except Exception as exc:
+            job.state = "failed"
+            job.error = JobFailedError(
+                job.id, f"{type(exc).__name__}: {exc}"
+            )
+            job.end_time = self.now
+            self._drop_scope(job)
+            self._push(self.now, "release", job)
+            return self.now
+
+        traffic = cache_stats(job.id)
+        hits = sum(row["hits"] for row in traffic.values())
+        misses = sum(row["misses"] for row in traffic.values())
+        job.result = JobResult(
+            makespan=result.makespan,
+            mean_latency=result.mean_latency,
+            period=result.period,
+            probe_events=len(result.trace),
+            sim_events=env.events_processed,
+            trace_digest=result.trace.digest(),
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+        job._probe_counts = tuple(  # stashed for the telemetry message
+            sorted(result.trace.counts_by_kind().items())
+        )
+        if result.makespan > spec.time_budget:
+            job.state = "failed"
+            job.error = TimeBudgetExceeded(
+                job.id, spec.time_budget, result.makespan
+            )
+            t_end = self.now + spec.time_budget
+        else:
+            job.state = "completed"
+            t_end = self.now + result.makespan
+        job.end_time = t_end
+        self._drop_scope(job)
+        self._push(t_end, "release", job)
+        return t_end
+
+    def _drop_scope(self, job: Job) -> None:
+        """Finished jobs stop owning cache entries (artifacts stay shared)."""
+        forget_scope(job.id)
+
+    def _release(self, job: Job) -> None:
+        lease = self.scheduler.release(job.id)
+        spec = job.spec
+        if job.state == "completed":
+            r = job.result
+            self.bus.publish(
+                job_topic(job.id), "completed", time=self.now, job=job.id,
+                tenant=spec.tenant, makespan=r.makespan,
+                mean_latency=r.mean_latency, trace_digest=r.trace_digest,
+            )
+        else:
+            self.bus.publish(
+                job_topic(job.id), "failed", time=self.now, job=job.id,
+                tenant=spec.tenant,
+                error=type(job.error).__name__ if job.error else "unknown",
+            )
+        if job.result is not None:
+            counts = getattr(job, "_probe_counts", ())
+            flat = tuple(x for pair in counts for x in pair)
+            self.bus.publish(
+                job_topic(job.id, "probes"), "telemetry", time=self.now,
+                job=job.id, tenant=spec.tenant,
+                events=job.result.probe_events,
+                sim_events=job.result.sim_events,
+                digest=job.result.trace_digest,
+                kinds=flat,
+            )
+        self.bus.publish(
+            TOPIC_LEASES, "released", time=self.now, job=job.id,
+            tenant=spec.tenant, nodes=lease.nodes,
+        )
+
+    # -- results & accounting ---------------------------------------------
+    def job(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def result(self, job_id: str) -> JobResult:
+        """The job's result; raises its typed error if it did not complete."""
+        job = self.job(job_id)
+        if job.error is not None:
+            raise job.error
+        if job.state != "completed" or job.result is None:
+            raise JobFailedError(job_id, f"job is {job.state}, not completed")
+        return job.result
+
+    @property
+    def idle(self) -> bool:
+        return not self._heap and not self.queue and not self.scheduler.active
+
+    def stats(self) -> ServiceStats:
+        by_state: Dict[str, int] = {}
+        waits = []
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+            if job.wait_time is not None:
+                waits.append(job.wait_time)
+        span = max(
+            (j.end_time for j in self.jobs.values() if j.end_time is not None),
+            default=0.0,
+        )
+        return ServiceStats(
+            submitted=len(self.jobs),
+            completed=by_state.get("completed", 0),
+            failed=by_state.get("failed", 0),
+            rejected=by_state.get("rejected", 0),
+            pending=by_state.get("queued", 0) + by_state.get("running", 0),
+            backfills=self.scheduler.backfills,
+            virtual_span=span,
+            utilization=self.scheduler.utilization(span),
+            mean_wait=sum(waits) / len(waits) if waits else 0.0,
+            max_wait=max(waits) if waits else 0.0,
+            executed=self.executed,
+            wall_seconds=self.wall_seconds,
+        )
+
+    def check_clean(self) -> List:
+        """Post-run machine hygiene, reusing the chaos leak checks: the
+        shared cluster must hold zero slots with empty queues."""
+        from ..chaos.invariants import check_quiescent
+
+        violations = list(check_quiescent(self.env, self.cluster))
+        if self.scheduler.active:
+            from ..chaos.invariants import Violation
+
+            violations.append(Violation(
+                "no_leaked_slots",
+                f"{len(self.scheduler.active)} lease(s) still active "
+                "after the service drained",
+            ))
+        return violations

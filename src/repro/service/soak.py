@@ -1,0 +1,496 @@
+"""The service soak harness: N-job mixed workloads and five invariants.
+
+``python -m repro serve --soak --jobs 1000`` builds a seeded workload of
+mixed FFT2D / corner-turn submissions from several tenants (including
+deliberately over-quota ones), pushes it through one
+:class:`~repro.service.service.SageService`, and then *proves* the run was
+correct instead of eyeballing it:
+
+1. **isolation** — every completed job's result quantities and probe-trace
+   digest are bitwise identical to the same spec run standalone on a
+   private cluster (references memoized by spec fingerprint).
+2. **determinism** — replaying the identical workload + seed on a fresh
+   service reproduces the admission order, every lease's node set, and the
+   byte-exact event-bus stream digest.
+3. **quota & no-starvation** — every rejection carries the typed quota
+   error, no tenant ever holds more nodes than its quota concurrently, and
+   no backfilled job pushed a FIFO-older job past its recorded reservation.
+4. **zero leaked slots** — after the drain the shared cluster passes the
+   chaos-harness quiescence check: every CPU slot free, nobody queued, no
+   active leases (:func:`repro.chaos.invariants.check_quiescent` reused
+   verbatim).
+5. **telemetry consistency** — each executed job re-published exactly one
+   probe-telemetry message, under its own topic only, whose digest matches
+   the job's result; lifecycle message counts reconcile with job states.
+
+The headline figure is **jobs/sec** — designs compiled *and* simulated per
+host second, sustained across the soak — recorded into
+``BENCH_simcore.json`` next to :data:`SERVICE_BASELINE` (the same harness
+run on the tree that introduced it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .jobs import JobSpec
+from .scheduler import TenantQuota, _EPS
+from .service import SageService, run_standalone
+
+__all__ = [
+    "SERVICE_BASELINE",
+    "SoakReport",
+    "default_quotas",
+    "generate_workload",
+    "run_soak",
+]
+
+#: Recorded on the tree that introduced the service (same harness,
+#: ``--jobs 1000 --seed 7 --nodes 8``), for the embedded-baseline
+#: comparison in BENCH_simcore.json.  Tracked stat, no hard gate: CI
+#: shared runners are too noisy to fail on wall clock.
+SERVICE_BASELINE = {
+    "jobs": 1000,
+    "nodes": 8,
+    "seed": 7,
+    "jobs_per_sec": 226.3,
+    "machine": "x86_64",
+}
+
+#: The soak's tenant population.  ``burst`` is deliberately under-provisioned
+#: (2-node ceiling, shallow queue) so quota rejections and queue-depth
+#: rejections actually happen and invariant 3 has teeth.
+SOAK_TENANTS = ("alpha", "beta", "gamma", "burst")
+
+
+def default_quotas() -> Dict[str, TenantQuota]:
+    return {
+        "burst": TenantQuota(max_nodes=2, max_running=2, max_queued=4),
+    }
+
+
+#: (size, nodes) pairs satisfying the model constraints (power-of-two size,
+#: size % nodes == 0) across the platform's 8 nodes.
+_SHAPES = ((16, 1), (16, 2), (16, 4), (32, 2), (32, 4), (64, 4))
+
+_APPS = ("fft2d", "corner_turn")
+_POLICIES = ("fail_fast", "retry", "checkpoint_restart")
+
+#: A minority of *cheap* jobs carry a tight virtual-time budget.  Tight
+#: budgets are what let the conservative backfill planner slide a short job
+#: in front of a blocked head: its bounded runtime provably fits inside the
+#: head's reservation gap (gaps reach a few ms when 6-iteration
+#: checkpointing jobs hold nodes; the cheap shapes finish in < 0.7 ms, so
+#: the tight budget never kills them).
+_TIGHT_BUDGET = 8e-4
+
+#: A tiny budget no job can meet — a sprinkle of guaranteed overruns keeps
+#: the TimeBudgetExceeded kill path exercised under soak.
+_KILL_BUDGET = 1e-4
+
+
+def generate_workload(
+    count: int,
+    seed: int,
+    tenants: Sequence[str] = SOAK_TENANTS,
+) -> List[Tuple[JobSpec, float]]:
+    """Seeded mixed workload: ``count`` (spec, arrival_time) pairs.
+
+    Everything is drawn from one ``random.Random(seed)`` stream, so equal
+    (count, seed, tenants) always yields the identical workload — the
+    determinism invariant replays exactly this.
+    """
+    rng = random.Random(seed)
+    out: List[Tuple[JobSpec, float]] = []
+    at = 0.0
+    for _ in range(count):
+        size, nodes = rng.choice(_SHAPES)
+        app = rng.choice(_APPS)
+        iterations = rng.choice((1, 2, 3, 6))
+        cheap = (
+            (app == "corner_turn" and size <= 32 and iterations <= 3)
+            or (app == "fft2d" and size == 16 and iterations == 1)
+        )
+        roll = rng.random()
+        if cheap and roll < 0.35:
+            budget = _TIGHT_BUDGET
+        elif roll > 0.98:
+            budget = _KILL_BUDGET
+        else:
+            budget = 5.0
+        spec = JobSpec(
+            tenant=rng.choice(tuple(tenants)),
+            app=app,
+            size=size,
+            nodes=nodes,
+            iterations=iterations,
+            policy=rng.choice(_POLICIES),
+            time_budget=budget,
+        )
+        out.append((spec, at))
+        # Mean inter-arrival well under the mean makespan: the queue builds,
+        # admission control and backfill stay busy.
+        at += rng.uniform(0.0, 0.0004)
+    return out
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run proved and measured."""
+
+    jobs: int
+    seed: int
+    nodes: int
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    rejected_at_submit: int = 0
+    backfills: int = 0
+    budget_kills: int = 0
+    jobs_per_sec: float = 0.0
+    wall_seconds: float = 0.0
+    virtual_span: float = 0.0
+    utilization: float = 0.0
+    mean_wait: float = 0.0
+    max_wait: float = 0.0
+    bus_messages: int = 0
+    bus_digest: str = ""
+    reference_runs: int = 0
+    invariants: Dict[str, bool] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and all(self.invariants.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "rejected_at_submit": self.rejected_at_submit,
+            "backfills": self.backfills,
+            "budget_kills": self.budget_kills,
+            "jobs_per_sec": self.jobs_per_sec,
+            "wall_seconds": self.wall_seconds,
+            "virtual_span": self.virtual_span,
+            "utilization": self.utilization,
+            "mean_wait": self.mean_wait,
+            "max_wait": self.max_wait,
+            "bus_messages": self.bus_messages,
+            "bus_digest": self.bus_digest,
+            "reference_runs": self.reference_runs,
+            "invariants": dict(self.invariants),
+            "violations": list(self.violations),
+            "ok": self.ok,
+            "baseline": dict(SERVICE_BASELINE),
+        }
+
+
+def _build_service(nodes: int, seed: int) -> SageService:
+    return SageService(nodes=nodes, seed=seed, quotas=default_quotas())
+
+
+def _drive(svc: SageService,
+           workload: Sequence[Tuple[JobSpec, float]]) -> Tuple[List[str], int]:
+    """Submit the workload (tolerating typed submit-time rejections), run."""
+    from .errors import ServiceError
+
+    ids: List[str] = []
+    rejected_at_submit = 0
+    for spec, at in workload:
+        try:
+            ids.append(svc.submit(spec, at=at))
+        except ServiceError:
+            rejected_at_submit += 1
+    svc.run()
+    return ids, rejected_at_submit
+
+
+# -- the five invariants ------------------------------------------------------
+
+def check_isolation(
+    svc: SageService,
+    references: Optional[Dict[str, tuple]] = None,
+) -> Tuple[List[str], int]:
+    """Invariant 1: completed service jobs == their standalone runs, bitwise.
+
+    ``references`` memoizes standalone reference runs by spec fingerprint
+    across calls; returns (violations, reference_runs_executed).
+    """
+    refs = references if references is not None else {}
+    fresh = 0
+    out: List[str] = []
+    for job in svc.jobs.values():
+        if job.state != "completed" or job.result is None:
+            continue
+        key = job.spec.fingerprint()
+        if key not in refs:
+            result, sim_events = run_standalone(job.spec, svc.platform_name)
+            refs[key] = (
+                result.trace.digest(), result.makespan, result.mean_latency,
+                result.period, len(result.trace), sim_events,
+            )
+            fresh += 1
+        digest, makespan, latency, period, nprobes, nevents = refs[key]
+        r = job.result
+        checks = (
+            ("trace_digest", r.trace_digest, digest),
+            ("makespan", r.makespan, makespan),
+            ("mean_latency", r.mean_latency, latency),
+            ("period", r.period, period),
+            ("probe_events", r.probe_events, nprobes),
+            ("sim_events", r.sim_events, nevents),
+        )
+        for name, got, want in checks:
+            if got != want:
+                out.append(
+                    f"isolation: {job.id} [{key}] {name} diverged from "
+                    f"standalone: {got!r} != {want!r}"
+                )
+    return out, fresh
+
+
+def check_determinism(
+    first: SageService,
+    workload: Sequence[Tuple[JobSpec, float]],
+    nodes: int,
+    seed: int,
+) -> List[str]:
+    """Invariant 2: a fresh service + same workload replays byte-identically."""
+    replay = _build_service(nodes, seed)
+    _drive(replay, workload)
+    out: List[str] = []
+    a, b = first.bus, replay.bus
+    if a.digest() != b.digest():
+        out.append(
+            f"determinism: bus stream digest diverged on replay "
+            f"({a.digest()[:12]} != {b.digest()[:12]})"
+        )
+        # Localise the first divergent message for the report.
+        for i, (ma, mb) in enumerate(zip(a.history, b.history)):
+            if ma.canonical() != mb.canonical():
+                out.append(
+                    f"determinism: first divergence at message {i}: "
+                    f"{ma.canonical()!r} != {mb.canonical()!r}"
+                )
+                break
+        else:
+            out.append(
+                f"determinism: stream lengths differ "
+                f"({len(a.history)} != {len(b.history)})"
+            )
+
+    def grants(svc):
+        return [
+            (m.get("job"), m.get("nodes"))
+            for m in svc.bus.history_for("scheduler.lease")
+            if m.kind == "granted"
+        ]
+
+    ga, gb = grants(first), grants(replay)
+    if ga != gb:
+        out.append(
+            "determinism: admission order / lease assignments diverged "
+            f"(first difference at index "
+            f"{next(i for i, (x, y) in enumerate(zip(ga, gb)) if x != y) if gb and ga else 0})"
+        )
+    return out
+
+
+def check_quota_and_starvation(svc: SageService) -> List[str]:
+    """Invariant 3: typed rejections, quota ceilings, reservation promises."""
+    from .errors import QuotaExceededError
+
+    out: List[str] = []
+    for job in svc.jobs.values():
+        if job.state == "rejected" and not isinstance(
+                job.error, QuotaExceededError):
+            out.append(
+                f"quota: {job.id} rejected without the typed quota error "
+                f"(got {type(job.error).__name__})"
+            )
+    # Concurrent node usage never exceeds the tenant ceiling: sweep the
+    # lease history as +width/-width edges per tenant.
+    for tenant in {l.tenant for l in svc.scheduler.history}:
+        quota = svc.scheduler.quota_for(tenant)
+        if quota.max_nodes is None:
+            continue
+        edges = []
+        for lease in svc.scheduler.history:
+            if lease.tenant != tenant:
+                continue
+            edges.append((lease.t_start, 1, lease.width))
+            edges.append((lease.t_end, 0, -lease.width))
+        width = peak = 0
+        for _, _, delta in sorted(edges):  # releases sort before grants
+            width += delta
+            peak = max(peak, width)
+        if peak > quota.max_nodes:
+            out.append(
+                f"quota: tenant {tenant!r} held {peak} nodes concurrently "
+                f"(quota {quota.max_nodes})"
+            )
+    # No starvation: whenever the scheduler backfilled past a blocked head,
+    # it recorded the head's reservation — the promise that backfill must
+    # not delay it.  Every such job must have started by its promise.
+    for job_id, promised in svc.scheduler.reservations.items():
+        job = svc.jobs.get(job_id)
+        if job is None or job.start_time is None:
+            continue
+        if job.start_time > promised + _EPS:
+            out.append(
+                f"starvation: {job_id} was promised a start by "
+                f"{promised!r} but started at {job.start_time!r}"
+            )
+    return out
+
+
+def check_slots(svc: SageService) -> List[str]:
+    """Invariant 4: the shared cluster is quiescent — no leaked slots."""
+    out = [str(v) for v in svc.check_clean()]
+    census = svc.cluster.slot_census()
+    held = {i: c for i, c in census.items() if c}
+    if held:
+        out.append(f"slots: census shows held slots after drain: {held}")
+    return out
+
+
+def check_telemetry(svc: SageService) -> List[str]:
+    """Invariant 5: probe telemetry on the bus reconciles with job results."""
+    out: List[str] = []
+    stats = svc.stats()
+    for job in svc.jobs.values():
+        probes = svc.bus.history_for(f"job.{job.id}.probes")
+        if job.result is not None:
+            if len(probes) != 1:
+                out.append(
+                    f"telemetry: {job.id} published {len(probes)} probe "
+                    "message(s), expected exactly 1"
+                )
+                continue
+            msg = probes[0]
+            if msg.get("job") != job.id:
+                out.append(
+                    f"telemetry: message under {job.id}'s topic names "
+                    f"job {msg.get('job')!r} — cross-job contamination"
+                )
+            if msg.get("digest") != job.result.trace_digest:
+                out.append(
+                    f"telemetry: {job.id} bus digest != result digest"
+                )
+            if msg.get("events") != job.result.probe_events:
+                out.append(
+                    f"telemetry: {job.id} bus event count "
+                    f"{msg.get('events')} != result {job.result.probe_events}"
+                )
+        elif probes:
+            out.append(
+                f"telemetry: {job.id} never produced a result but has "
+                f"{len(probes)} probe message(s)"
+            )
+        # Lifecycle messages must only ever name their own job.
+        for msg in svc.bus.history_for(f"job.{job.id}.*"):
+            if msg.get("job") != job.id:
+                out.append(
+                    f"telemetry: {job.id}'s topic carries a message for "
+                    f"{msg.get('job')!r}"
+                )
+    counts = svc.bus.counts_by_kind()
+    recon = (
+        ("started", stats.executed),
+        ("completed", stats.completed),
+    )
+    for kind, want in recon:
+        if counts.get(kind, 0) != want:
+            out.append(
+                f"telemetry: {counts.get(kind, 0)} {kind!r} messages on the "
+                f"bus but service counted {want}"
+            )
+    return out
+
+
+# -- the harness --------------------------------------------------------------
+
+def run_soak(
+    jobs: int = 1000,
+    seed: int = 7,
+    nodes: int = 8,
+    replay: bool = True,
+    isolation: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SoakReport:
+    """Drive one soak and evaluate the five invariants.
+
+    ``replay=False`` / ``isolation=False`` skip the two expensive
+    invariants (each re-executes work) — the smoke path for tests that
+    only need the scheduler exercised.
+    """
+    say = progress or (lambda _line: None)
+    report = SoakReport(jobs=jobs, seed=seed, nodes=nodes)
+    workload = generate_workload(jobs, seed)
+    svc = _build_service(nodes, seed)
+    say(f"soak: submitting {jobs} jobs (seed={seed}, nodes={nodes})")
+    _, rejected_at_submit = _drive(svc, workload)
+    stats = svc.stats()
+
+    from .errors import TimeBudgetExceeded
+
+    report.submitted = stats.submitted
+    report.completed = stats.completed
+    report.failed = stats.failed
+    report.rejected = stats.rejected
+    report.rejected_at_submit = rejected_at_submit
+    report.backfills = stats.backfills
+    report.budget_kills = sum(
+        1 for j in svc.jobs.values()
+        if isinstance(j.error, TimeBudgetExceeded)
+    )
+    report.jobs_per_sec = stats.jobs_per_sec
+    report.wall_seconds = stats.wall_seconds
+    report.virtual_span = stats.virtual_span
+    report.utilization = stats.utilization
+    report.mean_wait = stats.mean_wait
+    report.max_wait = stats.max_wait
+    report.bus_messages = len(svc.bus.history)
+    report.bus_digest = svc.bus.digest()
+    say(
+        f"soak: {report.completed} completed, {report.failed} failed, "
+        f"{report.rejected + rejected_at_submit} rejected, "
+        f"{report.backfills} backfills — "
+        f"{report.jobs_per_sec:.1f} jobs/sec"
+    )
+
+    if isolation:
+        say("soak: invariant 1/5 — isolation vs standalone references")
+        violations, refs = check_isolation(svc)
+        report.reference_runs = refs
+        report.invariants["isolation"] = not violations
+        report.violations += violations
+    if replay:
+        say("soak: invariant 2/5 — determinism replay")
+        violations = check_determinism(svc, workload, nodes, seed)
+        report.invariants["determinism"] = not violations
+        report.violations += violations
+
+    say("soak: invariants 3-5/5 — quotas, slots, telemetry")
+    for name, check in (
+        ("quota_no_starvation", check_quota_and_starvation),
+        ("zero_leaked_slots", check_slots),
+        ("telemetry", check_telemetry),
+    ):
+        violations = check(svc)
+        report.invariants[name] = not violations
+        report.violations += violations
+
+    say(f"soak: {'PASS' if report.ok else 'FAIL'} "
+        f"({sum(report.invariants.values())}/{len(report.invariants)} "
+        "invariants hold)")
+    return report

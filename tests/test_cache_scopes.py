@@ -1,0 +1,176 @@
+"""Cache-scope tests: per-job namespacing of the process-wide caches.
+
+The registry is deliberately shared across jobs (two jobs submitting the
+same design share one striping plan / one generated glue), but clearing is
+namespaced: a job's clear evicts only entries it alone owns, so one
+tenant's ``clear_all_caches``/``invalidate_mapping_caches`` can never
+evict artifacts another live job is using.
+"""
+
+import pytest
+
+from repro.perf.cache import (
+    KeyedCache,
+    cache_scope,
+    cache_stats,
+    clear_all_caches,
+    current_scope,
+    forget_scope,
+    invalidate_mapping_caches,
+    named_cache,
+)
+from repro.service import JobSpec, SageService
+
+
+class TestScopeStack:
+    def test_no_scope_by_default(self):
+        assert current_scope() is None
+
+    def test_nesting_and_none_passthrough(self):
+        with cache_scope("a"):
+            assert current_scope() == "a"
+            with cache_scope(None):
+                assert current_scope() == "a"
+            with cache_scope("b"):
+                assert current_scope() == "b"
+            assert current_scope() == "a"
+        assert current_scope() is None
+
+
+class TestScopedKeyedCache:
+    def test_scoped_clear_keeps_other_scopes_entries(self):
+        cache = KeyedCache("t")
+        with cache_scope("job1"):
+            cache.get("shared", lambda: "glue")
+            cache.get("mine", lambda: "private")
+        with cache_scope("job2"):
+            assert cache.get("shared", lambda: "WRONG") == "glue"
+        # job1 clears: its exclusive entry goes, the shared one survives
+        evicted = cache.clear(scope="job1")
+        assert evicted == 1
+        assert "mine" not in cache
+        assert "shared" in cache
+
+    def test_unscoped_entries_survive_any_scoped_clear(self):
+        cache = KeyedCache("t")
+        cache.get("global", lambda: 1)          # no scope active
+        with cache_scope("job1"):
+            cache.get("global", lambda: 1)      # job1 touches it too
+        cache.clear(scope="job1")
+        assert "global" in cache                # global property survives
+
+    def test_unscoped_clear_still_drops_everything(self):
+        cache = KeyedCache("t")
+        with cache_scope("job1"):
+            cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_forget_scope_detaches_without_evicting(self):
+        cache = KeyedCache("t")
+        with cache_scope("job1"):
+            cache.get("a", lambda: 1)
+        cache.forget_scope("job1")
+        assert "a" in cache
+        # after the detach, job1's clear no longer touches it
+        assert cache.clear(scope="job1") == 0
+        assert "a" in cache
+
+    def test_per_scope_stats(self):
+        cache = KeyedCache("t")
+        with cache_scope("job1"):
+            cache.get("k", lambda: 1)       # miss
+        with cache_scope("job2"):
+            cache.get("k", lambda: 1)       # hit
+            cache.lookup("absent")          # miss, no insertion
+        assert cache.stats("job1") == {"hits": 0, "misses": 1, "size": 1}
+        assert cache.stats("job2") == {"hits": 1, "misses": 1, "size": 1}
+        # global stats keep counting everything
+        assert cache.stats() == {"hits": 1, "misses": 2, "size": 1}
+
+    def test_put_tags_owner(self):
+        cache = KeyedCache("t")
+        with cache_scope("job1"):
+            cache.put("k", "v")
+        cache.clear(scope="job1")
+        assert "k" not in cache
+
+
+class TestRegistryScoping:
+    def test_clear_all_caches_scoped(self):
+        cache = named_cache("test.scoped_clear_all")
+        cache.clear()
+        with cache_scope("jobA"):
+            cache.get("a", lambda: 1)
+        with cache_scope("jobB"):
+            cache.get("b", lambda: 2)
+        assert clear_all_caches(scope="jobA") >= 1
+        assert "a" not in cache and "b" in cache
+        cache.clear()
+
+    def test_invalidate_mapping_caches_scoped(self):
+        cache = named_cache("striping.thread_region")
+        with cache_scope("jobA"):
+            cache.put(("scope-test", "A"), 1)
+        with cache_scope("jobB"):
+            cache.put(("scope-test", "B"), 2)
+        invalidate_mapping_caches(scope="jobA")
+        assert ("scope-test", "A") not in cache
+        assert ("scope-test", "B") in cache
+        cache.clear(scope="jobB")
+
+    def test_cache_stats_scope_view(self):
+        cache = named_cache("test.stats_view")
+        with cache_scope("jobZ"):
+            cache.get("x", lambda: 1)
+        stats = cache_stats("jobZ")
+        assert stats["test.stats_view"] == {"hits": 0, "misses": 1, "size": 1}
+        forget_scope("jobZ")
+        assert cache_stats("jobZ")["test.stats_view"]["size"] == 0
+        cache.clear()
+
+
+class TestServiceCacheSharing:
+    def test_concurrent_jobs_share_a_cached_striping_plan(self):
+        """Two jobs with the same design both hit the shared artifacts:
+        the second job's compile is served from cache, and neither job's
+        completion (which clears/forgets its scope) breaks the other."""
+        clear_all_caches()
+        svc = SageService(nodes=8, seed=1)
+        spec = JobSpec(size=32, nodes=2)
+        a, b = svc.submit_batch([spec, spec])   # admitted concurrently
+        svc.run()
+        ra, rb = svc.result(a), svc.result(b)
+        assert ra.trace_digest == rb.trace_digest
+        # job A compiled cold; job B ran against A's cached artifacts
+        assert ra.cache_misses > 0
+        assert rb.cache_hits > 0
+        assert rb.cache_misses < ra.cache_misses
+
+    def test_one_jobs_clear_cannot_evict_anothers_glue(self):
+        clear_all_caches()
+        svc = SageService(nodes=8, seed=1)
+        spec = JobSpec(size=32, nodes=2)
+        a = svc.submit(spec)
+        svc.run()
+        glue_cache = named_cache("codegen.glue_source")
+        size_before = len(glue_cache)
+        assert size_before > 0
+        # a hostile/buggy tenant clears with its own (different) scope
+        with cache_scope("intruder"):
+            clear_all_caches(scope="intruder")
+        assert len(glue_cache) == size_before
+        # and a second identical job still hits
+        b = svc.submit(spec)
+        svc.run()
+        assert svc.result(b).cache_hits > 0
+        assert svc.result(a).trace_digest == svc.result(b).trace_digest
+
+    def test_service_runs_leave_no_scope_residue(self):
+        svc = SageService(nodes=4, seed=3)
+        jid = svc.submit(JobSpec(size=16, nodes=2))
+        svc.run()
+        assert current_scope() is None
+        # the finished job's scope was forgotten: scoped stats are empty
+        assert all(row["size"] == 0 for row in cache_stats(jid).values())
