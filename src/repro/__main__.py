@@ -114,13 +114,104 @@ def _analysis_model(args):
     return _load_any_design(name)
 
 
-def cmd_analyze(args) -> int:
+def _plan_recon(app, mapping, directive: str):
+    """Parse one ``--recon`` directive into a planned transition.
+
+    ``shrink=S0,S1,...`` plans the node-loss restripe onto the survivors;
+    ``grow=S0,S1,...`` plans the round trip (shrink to the survivors, then
+    re-grow to the original placement when the lost nodes rejoin);
+    ``migrate=FID:THREAD:PROC[,...]`` plans a live migration.
+    """
+    from .analysis import (
+        plan_grow_transition,
+        plan_migration_transition,
+        plan_shrink_transition,
+    )
+
+    kind, _, rest = directive.partition("=")
+    if kind == "shrink" or kind == "grow":
+        survivors = [int(x) for x in rest.split(",") if x.strip()]
+        if not survivors:
+            raise ValueError(f"--recon {kind}= needs a survivor list")
+        if kind == "shrink":
+            return plan_shrink_transition(app, mapping, survivors)
+        shrunk = plan_shrink_transition(app, mapping, survivors)
+        lost = sorted(set(mapping.processors_used()) - set(survivors))
+        return plan_grow_transition(
+            app, shrunk.after, mapping, {p: p for p in lost}
+        )
+    if kind == "migrate":
+        moves = {}
+        for item in rest.split(","):
+            fid, t, proc = (int(x) for x in item.split(":"))
+            moves[(fid, t)] = proc
+        return plan_migration_transition(app, mapping, moves)
+    raise ValueError(
+        f"bad --recon directive {directive!r}: expected shrink=..., "
+        "grow=..., or migrate=fid:thread:proc[,...]"
+    )
+
+
+def _write_analysis(args, report, extra=None) -> int:
+    """Persist + print one analysis report; shared by every analyze mode."""
     import json
     import os
 
+    doc = report.to_dict()
+    if extra:
+        doc.update(extra)
+    out_path = args.output
+    if out_path is None:
+        os.makedirs("reports", exist_ok=True)
+        safe = report.model_name.replace("/", "_").replace(":", "_")
+        out_path = os.path.join("reports", f"analysis_{safe}.json")
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.render_text())
+        print(f"report written to {out_path}")
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+def _analyze_jobspec(args) -> int:
+    """``analyze --job``: admission-lint a spec built from the CLI args."""
+    import sys
+
+    from .analysis import lint_job_spec
+    from .machine import get_platform
+    from .service.errors import ServiceError
+    from .service.jobs import JobSpec
+
+    app_name = {"cornerturn": "corner_turn", "corner-turn": "corner_turn"}
+    spec = JobSpec(
+        app=app_name.get(args.app, args.app),
+        size=args.n,
+        nodes=args.nodes or 4,
+        iterations=args.iterations,
+        time_budget=args.budget if args.budget is not None else 5.0,
+    )
+    try:
+        spec.validate()
+    except ServiceError as exc:
+        print(f"invalid job spec: {exc}", file=sys.stderr)
+        return 2
+    report = lint_job_spec(spec, get_platform(args.platform or "cspi"))
+    return _write_analysis(args, report)
+
+
+def cmd_analyze(args) -> int:
     from .analysis import analyze_application
     from .core.model import round_robin_mapping
     from .machine import get_platform
+
+    if args.job:
+        return _analyze_jobspec(args)
 
     app, hardware, mapping = _analysis_model(args)
     nodes = args.nodes or (hardware.processor_count if hardware else 4)
@@ -134,22 +225,31 @@ def cmd_analyze(args) -> int:
         app, mapping, nodes, memory_bytes=memory_bytes, suppress=suppress
     )
 
-    out_path = args.output
-    if out_path is None:
-        os.makedirs("reports", exist_ok=True)
-        out_path = os.path.join("reports", f"analysis_{report.model_name}.json")
-    with open(out_path, "w") as fh:
-        json.dump(report.to_dict(), fh, indent=2)
-        fh.write("\n")
+    extra = {}
+    if args.cost:
+        from .analysis import check_cost, predict_makespan
 
-    if args.format == "json":
-        print(report.to_json())
-    else:
-        print(report.render_text())
-        print(f"report written to {out_path}")
-    if args.strict and not report.ok:
-        return 1
-    return 0
+        platform = get_platform(args.platform or "cspi")
+        cost = predict_makespan(
+            app, mapping, nodes, platform, iterations=args.iterations
+        )
+        report.record_pass("cost-predict")
+        report.extend(check_cost(cost, budget=args.budget))
+        extra["cost"] = cost.to_dict()
+    if args.recon:
+        from .analysis import check_transition
+
+        report.record_pass("recon-safety")
+        transitions = []
+        for directive in args.recon:
+            transition = _plan_recon(app, mapping, directive)
+            report.extend(check_transition(app, transition, nodes))
+            transitions.append(transition.describe())
+        extra["transitions"] = transitions
+    if suppress:
+        report = report.suppress(suppress)
+
+    return _write_analysis(args, report, extra)
 
 
 def cmd_run(args) -> int:
@@ -259,6 +359,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="report file path (default reports/analysis_<model>.json)")
     ana.add_argument("--suppress",
                      help="comma-separated rule ids to filter out, e.g. MDL004,BUF207")
+    ana.add_argument("--cost", action="store_true",
+                     help="add the static cost/critical-path prediction "
+                          "(PERF rules + a cost section in the report)")
+    ana.add_argument("--recon", action="append", metavar="DIRECTIVE",
+                     help="check a mapping transition (RECON rules): "
+                          "shrink=0,1,2 | grow=0,1,2 | "
+                          "migrate=fid:thread:proc[,...]; repeatable")
+    ana.add_argument("--job", action="store_true",
+                     help="admission-lint a job spec (JOB rules) built from "
+                          "app/--n/--nodes/--iterations/--budget")
+    ana.add_argument("--iterations", type=int, default=3,
+                     help="iteration count for --cost / --job (default 3)")
+    ana.add_argument("--budget", type=float, default=None,
+                     help="virtual-time budget for PERF003 / --job linting")
     ana.set_defaults(fn=cmd_analyze)
 
     run = sub.add_parser("run", help="execute a design on a simulated platform")

@@ -1,13 +1,24 @@
 """The SAGE Verifier: static analysis before any cycle is simulated.
 
-Three passes — Alter script linting, communication-schedule analysis, and
-buffer-hazard detection — plus Designer model validation, unified behind
-:func:`analyze_application` and one :class:`AnalysisReport`.  Rule-id
-families: ``ALT0xx`` (lint), ``COMM0xx`` (schedules), ``BUF2xx`` (buffers),
-``MDL0xx`` (model validation), ``ANA000`` (a pass crashed).
+Verifier v1 passes — Alter script linting, communication-schedule analysis,
+and buffer-hazard detection — plus Designer model validation, unified
+behind :func:`analyze_application` and one :class:`AnalysisReport`.
+
+Verifier v2 adds three engines on the same report machinery:
+
+* :mod:`repro.analysis.recon` — reconfiguration-safety model checking of
+  mapping transitions (``RECON0xx``),
+* :mod:`repro.analysis.cost` — static cost / critical-path prediction
+  against the machine model (``PERF0xx``),
+* :mod:`repro.analysis.admission` — admission-time job-spec linting for
+  the service (``JOB0xx``).
+
+Rule-id families: ``ALT0xx`` (lint), ``COMM0xx`` (schedules), ``BUF2xx``
+(buffers), ``MDL0xx`` (model validation), ``RECON0xx`` (reconfiguration),
+``PERF0xx`` (cost), ``JOB0xx`` (admission), ``ANA000`` (a pass crashed).
 """
 
-from .report import AnalysisReport, Finding, SEVERITIES
+from .report import AnalysisReport, Finding, SCHEMA_VERSION, SEVERITIES
 from .alter_lint import builtin_signatures, lint_script, script_defines
 from .comm import (
     CommOp,
@@ -17,10 +28,20 @@ from .comm import (
 )
 from .buffers import check_buffer_hazards, logical_buffer_specs
 from .verifier import analyze_application, lint_glue_scripts
+from .cost import CostReport, buffer_views, check_cost, predict_makespan
+from .recon import (
+    MappingTransition,
+    check_transition,
+    plan_grow_transition,
+    plan_migration_transition,
+    plan_shrink_transition,
+)
+from .admission import lint_job_spec, predicted_footprint
 
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "SCHEMA_VERSION",
     "SEVERITIES",
     "builtin_signatures",
     "lint_script",
@@ -33,4 +54,15 @@ __all__ = [
     "logical_buffer_specs",
     "analyze_application",
     "lint_glue_scripts",
+    "CostReport",
+    "buffer_views",
+    "check_cost",
+    "predict_makespan",
+    "MappingTransition",
+    "check_transition",
+    "plan_grow_transition",
+    "plan_migration_transition",
+    "plan_shrink_transition",
+    "lint_job_spec",
+    "predicted_footprint",
 ]

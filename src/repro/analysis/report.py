@@ -16,10 +16,16 @@ from typing import Dict, Iterable, List, Sequence
 
 from ..core.model.validation import ValidationIssue
 
-__all__ = ["Finding", "AnalysisReport", "SEVERITIES"]
+__all__ = ["Finding", "AnalysisReport", "SEVERITIES", "SCHEMA_VERSION"]
 
 #: Recognised severities, most severe first (also the sort order).
 SEVERITIES = ("error", "warning", "info")
+
+#: Version of the JSON report schema written by :meth:`AnalysisReport.to_dict`.
+#: v1 had no version field; v2 adds it (plus the RECON/PERF/JOB rule
+#: families).  Findings are emitted in :attr:`Finding.sort_key` order, so a
+#: report for an unchanged model diffs byte-identically across runs.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -143,6 +149,7 @@ class AnalysisReport:
 
     def to_dict(self) -> dict:
         return {
+            "version": SCHEMA_VERSION,
             "model": self.model_name,
             "passes": list(self.passes_run),
             "counts": {

@@ -29,7 +29,7 @@ def _in_port_specs(app: ApplicationModel) -> Dict[int, List[tuple]]:
     """function_id -> [(port, shape, dtype, striping, threads)] for IN sides."""
     instances = {id(i.block): i for i in app.function_instances()}
     out: Dict[int, List[tuple]] = {i.function_id: [] for i in instances.values()}
-    for src, dst in app.flattened_arcs():
+    for _src, dst in app.flattened_arcs():
         inst = instances[id(dst.block)]
         out[inst.function_id].append(
             (dst.name, dst.datatype.shape, dst.datatype.dtype, dst.striping, inst.threads)

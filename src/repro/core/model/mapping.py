@@ -144,7 +144,7 @@ def shrink_mapping(mapping: Mapping, survivors: Iterable[int],
         return out
     per_fn: Dict[int, Dict[int, int]] = {}
     total: Dict[int, int] = {p: 0 for p in pool}
-    for (fid, t), proc in mapping.items():
+    for (fid, _t), proc in mapping.items():
         if proc in pool:
             per_fn.setdefault(fid, {p: 0 for p in pool})[proc] += 1
             total[proc] += 1

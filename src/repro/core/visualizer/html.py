@@ -9,7 +9,7 @@ external assets, viewable anywhere.
 from __future__ import annotations
 
 import html as html_escape
-from typing import List, Optional
+from typing import List
 
 from ..runtime.kernel import RunResult
 from .analysis import function_busy_time, utilization

@@ -162,6 +162,10 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
                         help="virtual-time lease budget (default 5.0)")
     parser.add_argument("--at", type=float, default=None,
                         help="virtual arrival time inside the batch")
+    parser.add_argument("--platform", default="cspi",
+                        help="platform the admission lint checks against")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the static admission lint (JOB rules)")
     args = parser.parse_args(argv)
 
     kw = dict(
@@ -177,6 +181,19 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     except ServiceError as exc:
         print(f"invalid spec: {exc}", file=sys.stderr)
         return 2
+
+    if not args.no_lint:
+        from ..analysis.admission import lint_job_spec
+        from ..machine import get_platform
+
+        report = lint_job_spec(spec, get_platform(args.platform))
+        for f in report.sorted():
+            print(f"  {f.render()}", file=sys.stderr)
+        if not report.ok:
+            print(f"rejected by admission lint: {len(report.errors)} "
+                  f"error(s); not queued (--no-lint to override)",
+                  file=sys.stderr)
+            return 2
 
     entries = []
     if os.path.exists(args.batch):

@@ -13,6 +13,7 @@ __all__ = [
     "ServiceError",
     "InvalidJobSpec",
     "AdmissionError",
+    "AdmissionRejected",
     "QuotaExceededError",
     "TimeBudgetExceeded",
     "UnknownJobError",
@@ -31,6 +32,25 @@ class InvalidJobSpec(ServiceError, ValueError):
 class AdmissionError(ServiceError):
     """The request can never be admitted on this cluster (e.g. it asks for
     more nodes than the machine has) — resubmit with different options."""
+
+
+class AdmissionRejected(AdmissionError):
+    """The admission-time static lint (Verifier v2 ``JOB0xx`` rules) proved
+    the submission can never complete as specified, so it was rejected
+    before any scheduler state changed.
+
+    Carries the full :class:`~repro.analysis.report.AnalysisReport` as
+    ``report`` and its error findings as ``findings``; the message embeds
+    the rendered finding text so batch front-ends can surface *why*.
+    """
+
+    def __init__(self, spec_name: str, report):
+        self.report = report
+        self.findings = list(report.errors)
+        detail = "; ".join(f.render() for f in self.findings) or "(no detail)"
+        super().__init__(
+            f"submission {spec_name} rejected by admission lint: {detail}"
+        )
 
 
 class QuotaExceededError(ServiceError):

@@ -86,11 +86,17 @@ class ClusterScheduler:
         seed: int = 0,
         default_quota: Optional[TenantQuota] = None,
         quotas: Optional[Dict[str, TenantQuota]] = None,
+        predictor: Optional[Callable[[JobSpec], float]] = None,
     ):
         self.cluster = cluster
         self.seed = seed
         self.default_quota = default_quota or TenantQuota()
         self.quotas = dict(quotas or {})
+        #: Optional static-makespan predictor (spec -> seconds).  When set,
+        #: :meth:`effective_budget` tightens declared budgets with the
+        #: prediction, so backfill plans against exact reservations instead
+        #: of trusting whatever budget the tenant declared.
+        self.predictor = predictor
         self._rng = random.Random(seed)
         self._free = set(range(len(cluster)))
         self.active: Dict[str, Lease] = {}
@@ -118,6 +124,25 @@ class ClusterScheduler:
                 nodes += lease.width
                 jobs += 1
         return nodes, jobs
+
+    def effective_budget(self, spec: JobSpec) -> float:
+        """The lease bound used for backfill planning *and* budget kills.
+
+        Without a predictor this is exactly ``spec.time_budget`` (the
+        historical behaviour).  With one, it is the declared budget
+        tightened by the static prediction — both the planner and the
+        enforcement use the same number, so a backfill promise is always
+        kept by the kill that backs it.
+        """
+        budget = spec.time_budget
+        if self.predictor is not None:
+            try:
+                predicted = self.predictor(spec)
+            except Exception:
+                return budget
+            if predicted is not None and predicted > 0:
+                budget = min(budget, predicted)
+        return budget
 
     def check_request(self, spec: JobSpec) -> None:
         """Reject requests that can *never* be admitted, with typed errors."""
@@ -196,7 +221,7 @@ class ClusterScheduler:
         for job in pending[1:]:
             if not self.admissible_now(job):
                 continue
-            if now + job.spec.time_budget <= reservation + _EPS:
+            if now + self.effective_budget(job.spec) <= reservation + _EPS:
                 return job, True, reservation
         return None
 

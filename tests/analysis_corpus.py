@@ -7,14 +7,23 @@ trigger nothing (zero false positives).
 """
 
 from repro.analysis.comm import CommOp, CommSchedule
+from repro.analysis.recon import (
+    plan_grow_transition,
+    plan_migration_transition,
+    plan_shrink_transition,
+)
+from repro.apps.models import fft2d_model
 from repro.core.model import (
     ApplicationModel,
     DataType,
     FunctionBlock,
     Mapping,
     REPLICATED,
+    round_robin_mapping,
     striped,
 )
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import TenantQuota
 
 # ---------------------------------------------------------------------------
 # Alter lint seeds: (seed name, script source, expected rule, where fragment)
@@ -241,6 +250,220 @@ def make_spec(**overrides) -> dict:
     }
     spec.update(overrides)
     return spec
+
+
+# ---------------------------------------------------------------------------
+# Reconfiguration-safety seeds: (name, factory, expected rule).  Each factory
+# returns (app, transition, nprocs); the transition is tampered the way a
+# buggy reconfiguration engine would get it wrong, and must trigger *exactly*
+# the annotated rule.
+# ---------------------------------------------------------------------------
+
+
+def _chain_model(c1_proc: int):
+    """A 1-thread producer striped into a 2-thread consumer: the smallest
+    model where moving one consumer thread flips exactly one message's
+    locality (what the RECON002/003 delta check needs to notice)."""
+    t = DataType("m", "float32", (8, 8))
+    app = ApplicationModel("chain")
+    p = app.add_block(FunctionBlock("p", kernel="relax"))
+    p.add_out("out", t, striped(0))
+    c = app.add_block(FunctionBlock("c", kernel="relax", threads=2))
+    c.add_in("in", t, striped(0))
+    app.connect(p.port("out"), c.port("in"))
+    mapping = Mapping()
+    mapping.assign(0, 0, 0)
+    mapping.assign(1, 0, 0)
+    mapping.assign(1, 1, c1_proc)
+    return app, mapping
+
+
+def recon_stranded_thread():
+    """The transition's active set omits a processor that still owns a
+    thread — its elements would never be computed again."""
+    app, mapping = _chain_model(c1_proc=1)
+    transition = plan_migration_transition(app, mapping, {(1, 1): 1})
+    transition.active = {0}
+    return app, transition, 2
+
+
+def recon_orphaned_send():
+    """A colocated consumer thread moves remote, but the engine's moved set
+    forgot it: the delta-composed traffic table misses the new remote
+    send (it would never be staged)."""
+    app, mapping = _chain_model(c1_proc=0)
+    transition = plan_migration_transition(app, mapping, {(1, 1): 1})
+    transition.moved = set()
+    return app, transition, 2
+
+
+def recon_duplicated_send():
+    """The inverse defect: a remote consumer thread moves home, the moved
+    set forgot it, and the stale table still carries the now-local send."""
+    app, mapping = _chain_model(c1_proc=1)
+    transition = plan_migration_transition(app, mapping, {(1, 1): 0})
+    transition.moved = set()
+    return app, transition, 2
+
+
+def recon_lost_checkpoint():
+    """A shrink plan that dropped one of the checkpoint-migration transfers
+    the restripe needs: state on the dead node would be lost."""
+    app = fft2d_model(64, nodes=4)
+    mapping = round_robin_mapping(app, 4)
+    transition = plan_shrink_transition(app, mapping, survivors=[0, 1, 2])
+    transition.transfers = transition.transfers[1:]
+    return app, transition, 4
+
+
+def recon_double_shipped():
+    """A migration plan that ships the same region twice (a retry bug):
+    harmless for correctness but doubles the reconfiguration traffic."""
+    app, mapping = _chain_model(c1_proc=1)
+    transition = plan_migration_transition(app, mapping, {(1, 1): 0})
+    transition.transfers = transition.transfers + transition.transfers[:1]
+    return app, transition, 2
+
+
+def recon_deadlocked_after():
+    """A (vacuous) migration over the cyclic-exchange model: the
+    post-transition schedule deadlocks head-to-head, so the transition
+    must not be taken even though the mapping arithmetic is fine."""
+    app, mapping, nprocs = cyclic_exchange_model()
+    transition = plan_migration_transition(app, mapping, {})
+    return app, transition, nprocs
+
+
+RECON_SEEDS = [
+    ("stranded-thread", recon_stranded_thread, "RECON001"),
+    ("orphaned-send", recon_orphaned_send, "RECON002"),
+    ("duplicated-send", recon_duplicated_send, "RECON003"),
+    ("lost-checkpoint", recon_lost_checkpoint, "RECON004"),
+    ("double-shipped", recon_double_shipped, "RECON005"),
+    ("deadlocked-after", recon_deadlocked_after, "RECON006"),
+]
+
+
+def recon_clean_shrink():
+    app = fft2d_model(64, nodes=4)
+    mapping = round_robin_mapping(app, 4)
+    return app, plan_shrink_transition(app, mapping, survivors=[0, 1, 2]), 4
+
+
+def recon_clean_grow():
+    app = fft2d_model(64, nodes=4)
+    mapping = round_robin_mapping(app, 4)
+    shrunk = plan_shrink_transition(app, mapping, survivors=[0, 1, 2])
+    return app, plan_grow_transition(app, shrunk.after, mapping, {3: 3}), 4
+
+
+def recon_clean_migration():
+    app, mapping = _chain_model(c1_proc=0)
+    return app, plan_migration_transition(app, mapping, {(1, 1): 1}), 2
+
+
+#: Transitions the planners produce unmolested: zero findings expected.
+RECON_CLEAN = [
+    ("clean-shrink", recon_clean_shrink),
+    ("clean-grow", recon_clean_grow),
+    ("clean-migration", recon_clean_migration),
+]
+
+
+# ---------------------------------------------------------------------------
+# Cost-predictor seeds: (name, factory, expected rule).  Factories return
+# (app, mapping, nprocs, budget); the expected rule must be *present* (cost
+# findings are advisory, so co-findings like PERF004 are legitimate).
+# ---------------------------------------------------------------------------
+
+
+def perf_piled_mapping():
+    """Every thread piled onto processor 0 of a 4-node lease: textbook
+    compute imbalance."""
+    app = fft2d_model(64, nodes=4)
+    return app, round_robin_mapping(app, 1), 4, None
+
+
+def perf_hot_link():
+    """A 1-thread source fanning a 4 MB replicated buffer out to seven
+    remote readers: the source's inject port saturates the iteration."""
+    t = DataType("big", "float32", (512, 512))
+    app = ApplicationModel("fanout")
+    src = app.add_block(FunctionBlock("src", kernel="relax"))
+    src.add_out("out", t, REPLICATED)
+    dst = app.add_block(FunctionBlock("dst", kernel="relax", threads=8))
+    dst.add_in("in", t, REPLICATED)
+    app.connect(src.port("out"), dst.port("in"))
+    mapping = Mapping()
+    mapping.assign(0, 0, 0)
+    for thread in range(8):
+        mapping.assign(1, thread, thread)
+    return app, mapping, 8, None
+
+
+def perf_blown_budget():
+    app = fft2d_model(64, nodes=4)
+    return app, round_robin_mapping(app, 4), 4, 1e-6
+
+
+def perf_idle_lease():
+    """A 2-processor mapping analyzed against a 4-node lease: half the
+    leased capacity holds no work."""
+    app = fft2d_model(64, nodes=2)
+    return app, round_robin_mapping(app, 2), 4, None
+
+
+PERF_SEEDS = [
+    ("piled-mapping", perf_piled_mapping, "PERF001"),
+    ("hot-link", perf_hot_link, "PERF002"),
+    ("blown-budget", perf_blown_budget, "PERF003"),
+    ("idle-lease", perf_idle_lease, "PERF004"),
+]
+
+
+# ---------------------------------------------------------------------------
+# Admission-lint seeds: (name, spec, lint kwargs, expected rule).  Specs are
+# linted directly (no service needed); each must trigger exactly its rule.
+# ---------------------------------------------------------------------------
+
+JOB_SEEDS = [
+    (
+        "cluster-overflow",
+        JobSpec(app="fft2d", size=16, nodes=16),
+        {"cluster_nodes": 8},
+        "JOB001",
+    ),
+    (
+        "dram-overflow",
+        JobSpec(app="fft2d", size=4096, nodes=2),
+        {"cluster_nodes": 8},
+        "JOB002",
+    ),
+    (
+        "quota-infeasible",
+        JobSpec(app="fft2d", size=16, nodes=4, tenant="burst"),
+        {"cluster_nodes": 8,
+         "quota": TenantQuota(max_nodes=2, max_running=2, max_queued=4)},
+        "JOB003",
+    ),
+    (
+        "unbuildable-design",
+        JobSpec(app="fft2d", size=16, nodes=3),
+        {"cluster_nodes": 8},
+        "JOB004",
+    ),
+    (
+        "doomed-budget",
+        JobSpec(app="fft2d", size=64, nodes=4, iterations=6,
+                time_budget=1e-4),
+        {"cluster_nodes": 8},
+        "JOB005",
+    ),
+]
+
+#: JOB005 is advisory (the soak deliberately submits tight budgets to
+#: exercise the kill path), so the service must still *admit* that seed.
+JOB_WARNING_RULES = {"JOB005"}
 
 
 BUFFER_SEEDS = [

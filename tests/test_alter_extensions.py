@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.alter import AlterRuntimeError, Interpreter, Symbol
+from repro.core.alter import AlterRuntimeError, Interpreter
 
 
 @pytest.fixture

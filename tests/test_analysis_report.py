@@ -6,7 +6,12 @@ import json
 import pytest
 
 from tests.analysis_corpus import cyclic_exchange_model
-from repro.analysis import AnalysisReport, Finding, analyze_application
+from repro.analysis import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    Finding,
+    analyze_application,
+)
 from repro.apps.models import corner_turn_model, fft2d_model
 from repro.core.model import round_robin_mapping
 from repro.core.model.validation import ValidationIssue
@@ -94,6 +99,32 @@ class TestAnalysisReport:
         text = self._report().render_text()
         assert "1 error(s), 1 warning(s)" in text
         assert "SAGE Verifier report" in text
+
+    def test_schema_carries_its_version(self):
+        data = self._report().to_dict()
+        assert data["version"] == SCHEMA_VERSION
+        assert SCHEMA_VERSION >= 2
+        # the version key leads the document so diffs show it first
+        assert next(iter(data)) == "version"
+
+    def test_serialization_is_order_stable(self):
+        """Findings added in any order serialize identically — reports for
+        an unchanged model must diff byte-identically across runs."""
+        a = AnalysisReport(model_name="m")
+        b = AnalysisReport(model_name="m")
+        findings = [
+            Finding("warning", "BUF207", "p1", "near capacity"),
+            Finding("error", "COMM001", "arc", "deadlock"),
+            Finding("error", "ALT001", "s:1:1", "unbound"),
+            Finding("info", "PERF004", "proc3", "idle"),
+        ]
+        for f in findings:
+            a.add(f)
+        for f in reversed(findings):
+            b.add(f)
+        assert a.to_json() == b.to_json()
+        rules = [f["rule"] for f in a.to_dict()["findings"]]
+        assert rules == ["ALT001", "COMM001", "BUF207", "PERF004"]
 
 
 class TestAnalyzeApplication:

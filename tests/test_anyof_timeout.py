@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import AnyOf, Environment, SimCluster, SimulationError, cspi
+from repro.machine import Environment, SimCluster, SimulationError, cspi
 from repro.mpi import MpiError, MpiWorld
 
 

@@ -7,7 +7,6 @@ from repro.core.atot import (
     GaConfig,
     MappingObjective,
     MappingProblem,
-    Schedule,
     estimate_thread_flops,
     genetic_algorithm,
     list_schedule,
@@ -37,7 +36,7 @@ class TestGaCore:
         assert all(b <= a for a, b in zip(result.history, result.history[1:]))
 
     def test_deterministic_given_seed(self):
-        fit = lambda ch: float(sum((g - 2) ** 2 for g in ch))
+        fit = lambda ch: float(sum((g - 2) ** 2 for g in ch))  # noqa: E731
         r1 = genetic_algorithm(6, 5, fit, GaConfig(seed=7, generations=20))
         r2 = genetic_algorithm(6, 5, fit, GaConfig(seed=7, generations=20))
         assert r1.best == r2.best

@@ -123,7 +123,7 @@ class TestSimulatedAnnealing:
         assert all(b <= a for a, b in zip(result.history, result.history[1:]))
 
     def test_deterministic(self):
-        fit = lambda ch: float(sum((g - 1) ** 2 for g in ch))
+        fit = lambda ch: float(sum((g - 1) ** 2 for g in ch))  # noqa: E731
         r1 = simulated_annealing(5, 4, fit, AnnealConfig(steps=400, seed=4))
         r2 = simulated_annealing(5, 4, fit, AnnealConfig(steps=400, seed=4))
         assert r1.best == r2.best and r1.history == r2.history

@@ -7,7 +7,6 @@ tenant's ``clear_all_caches``/``invalidate_mapping_caches`` can never
 evict artifacts another live job is using.
 """
 
-import pytest
 
 from repro.perf.cache import (
     KeyedCache,

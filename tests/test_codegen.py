@@ -3,7 +3,7 @@ source whose tables faithfully mirror the model."""
 
 import pytest
 
-from repro.core.codegen import GlueModule, generate_glue, load_glue_source
+from repro.core.codegen import generate_glue, load_glue_source
 from repro.core.model import (
     ApplicationModel,
     DataType,

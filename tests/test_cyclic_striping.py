@@ -12,7 +12,6 @@ from repro.core.model import (
     ApplicationModel,
     DataType,
     FunctionBlock,
-    ModelError,
     REPLICATED,
     cyclic,
     striped,

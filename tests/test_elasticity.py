@@ -324,10 +324,10 @@ class TestRemoteTrafficDelta:
 
     def test_delta_matches_full_recompute(self):
         plan = self._plan()
-        old_src = lambda t: t % NODES
-        old_dst = lambda t: t % NODES
-        new_src = lambda t: 0 if t == 2 else t % NODES
-        new_dst = lambda t: 0 if t == 5 else t % NODES
+        old_src = lambda t: t % NODES  # noqa: E731
+        old_dst = lambda t: t % NODES  # noqa: E731
+        new_src = lambda t: 0 if t == 2 else t % NODES  # noqa: E731
+        new_dst = lambda t: 0 if t == 5 else t % NODES  # noqa: E731
         send0, recv0 = plan_remote_traffic(plan, old_src, old_dst)
         got_send, got_recv = plan_remote_traffic_delta(
             plan, send0, recv0, old_src, old_dst, new_src, new_dst,
@@ -340,7 +340,7 @@ class TestRemoteTrafficDelta:
 
     def test_delta_visits_only_moved_threads(self):
         plan = self._plan()
-        proc = lambda t: t % NODES
+        proc = lambda t: t % NODES  # noqa: E731
         send0, recv0 = plan_remote_traffic(plan, proc, proc)
         before = REGISTRY.counters.get("striping.replan_delta_messages", 0)
         plan_remote_traffic_delta(plan, send0, recv0, proc, proc,

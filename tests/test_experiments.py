@@ -21,7 +21,7 @@ from repro.experiments import (
     two_node_study,
 )
 from repro.experiments.table1 import averages
-from repro.machine import cspi, get_platform
+from repro.machine import cspi
 
 FAST = Protocol(runs=2, iterations=5)
 EXACT = Protocol(runs=1, iterations=5, jitter_sigma=0.0)

@@ -25,13 +25,13 @@ def filter_model(nodes, **filter_params):
         b.add_out("out", t, out_stripe)
         return b
 
-    src = block("src", "matrix_source", None, striped(0))
-    f1 = block("rowfft", "fft_rows", striped(0), striped(0))
-    f2 = block("colfft", "fft_cols", striped(1), striped(1))
-    flt = block("filter", "spectrum_multiply", striped(1), striped(1),
-                shape=[N, N], **filter_params)
-    i1 = block("icolfft", "ifft_cols", striped(1), striped(1))
-    i2 = block("irowfft", "ifft_rows", striped(0), striped(0))
+    block("src", "matrix_source", None, striped(0))
+    block("rowfft", "fft_rows", striped(0), striped(0))
+    block("colfft", "fft_cols", striped(1), striped(1))
+    block("filter", "spectrum_multiply", striped(1), striped(1),
+          shape=[N, N], **filter_params)
+    block("icolfft", "ifft_cols", striped(1), striped(1))
+    block("irowfft", "ifft_rows", striped(0), striped(0))
     sink = app.add_block(FunctionBlock("sink", kernel="matrix_sink", threads=nodes))
     sink.add_in("in", t, striped(0))
     for a, b in (("src", "rowfft"), ("rowfft", "colfft"), ("colfft", "filter"),

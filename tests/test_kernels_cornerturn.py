@@ -66,7 +66,7 @@ class TestRowBlockBounds:
         assert len(bounds) == parts
         # contiguous cover of [0, n)
         assert bounds[0][0] == 0 and bounds[-1][1] == n
-        for (a1, b1), (a2, _) in zip(bounds, bounds[1:]):
+        for (_a1, b1), (a2, _) in zip(bounds, bounds[1:]):
             assert b1 == a2
         # balanced: sizes differ by at most one
         sizes = [b - a for a, b in bounds]

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.signal
 
 from repro.kernels import (
     box_blur,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.machine import Environment, SimCluster, cspi
-from repro.mpi import MpiError, MpiWorld
+from repro.mpi import MpiError, MpiWorld, RankError
 
 
 def run_collective(nodes, prog):
@@ -162,7 +162,7 @@ def test_bcast_bad_root():
     def prog(comm):
         yield from comm.bcast(1, root=9)
 
-    with pytest.raises(Exception):
+    with pytest.raises(RankError, match="out of range"):
         run_collective(2, prog)
 
 

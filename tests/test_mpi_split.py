@@ -1,8 +1,6 @@
 """Sub-communicator (comm.split) tests: grouping, isolation, collectives
 within groups, and the row/column pattern for 2-D decompositions."""
 
-import numpy as np
-import pytest
 
 from repro.machine import Environment, SimCluster, cspi
 from repro.mpi import MpiWorld

@@ -4,7 +4,6 @@ kernels), multiple sources, and fan-out (one producer, several consumers)."""
 import numpy as np
 import pytest
 
-from repro.apps import benchmark_mapping
 from repro.core.codegen import generate_glue
 from repro.core.model import (
     ApplicationModel,

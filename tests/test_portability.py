@@ -54,7 +54,7 @@ def test_performance_differs_results_do_not():
     results = {p: run_on(p, app, provider) for p in sorted(PLATFORMS)}
     # identical data everywhere
     reference = results["cspi"].full_result(0)
-    for p, r in results.items():
+    for _p, r in results.items():
         np.testing.assert_array_equal(r.full_result(0), reference)
     # but the modeled latencies reflect each machine
     latencies = {p: r.mean_latency for p, r in results.items()}

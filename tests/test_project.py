@@ -137,7 +137,7 @@ class TestProjectHtmlReport:
 class TestProjectOptimizedGlue:
     def test_optimize_buffers_flag_flows_through(self):
         project = SageProject(corner_turn_model(256, 4), nodes=4)
-        default = project.generate(optimize_buffers=False)
+        project.generate(optimize_buffers=False)
         r_default = project.execute(iterations=2)
         optimized = project.generate(optimize_buffers=True)
         r_opt = project.execute(iterations=2)

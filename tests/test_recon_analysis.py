@@ -1,0 +1,114 @@
+"""Reconfiguration-safety analyzer tests: every seeded-bad transition is
+caught by exactly the intended RECON rule, and the transitions the planners
+produce for the real apps check clean — all symbolically, before any
+reconfiguration is executed."""
+
+import pytest
+
+from tests.analysis_corpus import RECON_CLEAN, RECON_SEEDS
+from repro.analysis import (
+    check_transition,
+    plan_grow_transition,
+    plan_migration_transition,
+    plan_shrink_transition,
+)
+from repro.apps.models import corner_turn_model, fft2d_model
+from repro.core.model import round_robin_mapping
+
+
+class TestSeededTransitions:
+    @pytest.mark.parametrize(
+        "name,factory,rule", RECON_SEEDS, ids=[s[0] for s in RECON_SEEDS]
+    )
+    def test_seed_triggers_exactly_its_rule(self, name, factory, rule):
+        app, transition, nprocs = factory()
+        findings = check_transition(app, transition, nprocs)
+        rules = sorted({f.rule for f in findings})
+        assert rules == [rule], (
+            f"seed {name!r} wanted exactly [{rule}], got "
+            f"{[f.render() for f in findings]}"
+        )
+
+    def test_findings_carry_the_recon_source(self):
+        for name, factory, _rule in RECON_SEEDS:
+            app, transition, nprocs = factory()
+            for f in check_transition(app, transition, nprocs):
+                assert f.source == "recon-safety", (name, f.render())
+
+    def test_lost_checkpoint_names_the_dropped_region(self):
+        _, factory, _ = next(s for s in RECON_SEEDS if s[0] == "lost-checkpoint")
+        app, transition, nprocs = factory()
+        (finding,) = [
+            f for f in check_transition(app, transition, nprocs)
+            if f.rule == "RECON004"
+        ]
+        assert "missing" in finding.message
+        assert finding.severity == "error"
+
+
+class TestCleanTransitions:
+    @pytest.mark.parametrize(
+        "name,factory", RECON_CLEAN, ids=[s[0] for s in RECON_CLEAN]
+    )
+    def test_planned_transition_is_clean(self, name, factory):
+        app, transition, nprocs = factory()
+        findings = check_transition(app, transition, nprocs)
+        assert not findings, [f.render() for f in findings]
+
+    @pytest.mark.parametrize("build", [fft2d_model, corner_turn_model],
+                             ids=["fft2d", "cornerturn"])
+    @pytest.mark.parametrize("nodes,survivors", [(4, [0, 1, 2]),
+                                                 (4, [1, 3]),
+                                                 (8, [0, 2, 4, 6])])
+    def test_app_shrink_plans_check_clean(self, build, nodes, survivors):
+        app = build(64, nodes=nodes)
+        mapping = round_robin_mapping(app, nodes)
+        transition = plan_shrink_transition(app, mapping, survivors)
+        findings = check_transition(app, transition, nodes)
+        assert not findings, [f.render() for f in findings]
+
+    @pytest.mark.parametrize("build", [fft2d_model, corner_turn_model],
+                             ids=["fft2d", "cornerturn"])
+    def test_shrink_grow_round_trip_checks_clean(self, build):
+        app = build(64, nodes=4)
+        mapping = round_robin_mapping(app, 4)
+        shrunk = plan_shrink_transition(app, mapping, survivors=[0, 1, 2])
+        grown = plan_grow_transition(app, shrunk.after, mapping, {3: 3})
+        assert not check_transition(app, shrunk, 4)
+        assert not check_transition(app, grown, 4)
+        # the round trip restores the original placement exactly
+        for inst in app.function_instances():
+            for t in range(inst.threads):
+                assert grown.after.processor_of(inst.function_id, t) == \
+                    mapping.processor_of(inst.function_id, t)
+
+    def test_migration_of_every_thread_checks_clean(self):
+        app = fft2d_model(64, nodes=4)
+        mapping = round_robin_mapping(app, 4)
+        moves = {}
+        for inst in app.function_instances():
+            for t in range(inst.threads):
+                fid = inst.function_id
+                moves[(fid, t)] = (mapping.processor_of(fid, t) + 1) % 4
+        transition = plan_migration_transition(app, mapping, moves)
+        findings = check_transition(app, transition, 4)
+        assert not findings, [f.render() for f in findings]
+
+
+class TestTransitionPlans:
+    def test_shrink_transfers_only_leave_dead_nodes(self):
+        app = fft2d_model(64, nodes=4)
+        mapping = round_robin_mapping(app, 4)
+        transition = plan_shrink_transition(app, mapping, survivors=[0, 1, 2])
+        assert transition.kind == "shrink"
+        assert transition.transfers, "a shrink off node 3 must ship state"
+        for _src, dst, nbytes, _label in transition.transfers:
+            assert dst in transition.active
+            assert nbytes > 0
+
+    def test_describe_mentions_kind_and_width(self):
+        app = fft2d_model(64, nodes=4)
+        mapping = round_robin_mapping(app, 4)
+        transition = plan_shrink_transition(app, mapping, survivors=[0, 1])
+        text = transition.describe()
+        assert "shrink" in text

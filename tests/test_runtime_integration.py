@@ -10,13 +10,10 @@ from repro.core.model import (
     ApplicationModel,
     DataType,
     FunctionBlock,
-    REPLICATED,
     round_robin_mapping,
-    striped,
 )
 from repro.core.runtime import (
     DEFAULT_CONFIG,
-    RuntimeConfig,
     RuntimeError_,
     SageRuntime,
 )

@@ -128,7 +128,7 @@ class TestThreadRegion:
         # Disjoint along the axis, covering [0, extent)
         spans = sorted((r[axis].start, r[axis].stop) for r in regions)
         assert spans[0][0] == 0 and spans[-1][1] == extent
-        for (a1, b1), (a2, _) in zip(spans, spans[1:]):
+        for (_a1, b1), (a2, _) in zip(spans, spans[1:]):
             assert b1 == a2
         # Total elements == full logical size
         total = sum(region_elems(r) for r in regions)

@@ -21,7 +21,6 @@ from repro.core.model import (
     hardware_from_dict,
     hardware_to_dict,
     load_design,
-    round_robin_mapping,
     save_design,
     striped,
 )

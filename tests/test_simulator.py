@@ -3,14 +3,11 @@
 import pytest
 
 from repro.machine.simulator import (
-    AllOf,
     Environment,
-    Event,
     Interrupt,
     Resource,
     SimulationError,
     Store,
-    Timeout,
 )
 
 

@@ -2,7 +2,6 @@
 distributions — the shapes the paper's production users would build."""
 
 import numpy as np
-import pytest
 
 from repro.apps import MatrixProvider, benchmark_mapping, corner_turn_model, fft2d_model
 from repro.core.codegen import generate_glue

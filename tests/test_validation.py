@@ -7,7 +7,6 @@ from repro.core.model import (
     DataType,
     FunctionBlock,
     ModelError,
-    REPLICATED,
     striped,
     validate_application,
 )
